@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+All figure/table benchmarks share one FAST-preset :class:`ExperimentContext`
+so datasets, the surrogate model, attack plans and pair pools are built once
+per session.  Each benchmark measures its experiment end to end (training
+included) with a single round — these are experiment *reproductions*, not
+micro-benchmarks — and prints the same rows/series the paper's figure shows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import FAST, ExperimentContext
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): paper figure/table id")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(FAST, seed=0)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

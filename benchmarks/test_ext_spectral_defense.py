@@ -1,0 +1,18 @@
+"""Extension — spectral-signature poison filtering (Tran et al. 2018).
+
+Not a paper figure: an additional training-time defense evaluated against
+the paper's attack at its default operating point (rate 0.4, k = 8).
+"""
+
+import pytest
+
+from repro.eval import format_spectral_defense, run_spectral_defense
+
+
+@pytest.mark.figure("ext-spectral")
+def test_ext_spectral_defense(ctx, run_once):
+    result = run_once(run_spectral_defense, ctx)
+    print()
+    print(format_spectral_defense(result))
+    # Filtering must beat random removal of the same budget.
+    assert result.poison_recall >= result.removed_fraction * 0.5

@@ -1,0 +1,17 @@
+"""Fig. 3 — index distribution of the most important frames (SHAP)."""
+
+import pytest
+
+from repro.eval import format_histogram, run_frame_importance
+
+
+@pytest.mark.figure("fig3")
+def test_fig03_frame_importance(ctx, run_once):
+    result = run_once(run_frame_importance, ctx, 2)
+    print()
+    print(format_histogram(result))
+    assert result.histogram.sum() == result.num_samples
+    # Importance concentrates: a handful of frames dominate (the paper's
+    # histogram is far from uniform).
+    top4 = sorted(result.histogram)[-4:]
+    assert sum(top4) >= result.num_samples * 0.5

@@ -1,0 +1,16 @@
+"""Fig. 5 — DRAI heatmaps with and without a trigger (stealthiness)."""
+
+import pytest
+
+from repro.eval import format_stealth, run_heatmap_stealth
+
+
+@pytest.mark.figure("fig5")
+def test_fig05_heatmap_stealth(ctx, run_once):
+    result = run_once(run_heatmap_stealth, ctx)
+    print()
+    print(format_stealth(result))
+    # The trigger changes the heatmaps (attackable) but does not rewrite
+    # them (stealthy): bounded relative deviation.
+    assert result.deviation["l2"] > 0.0
+    assert result.deviation["relative_l2"] < 0.8

@@ -1,0 +1,22 @@
+"""Fig. 8 — ASR/UASR/CDR vs injection rate, similar-trajectory attacks."""
+
+import pytest
+
+from repro.datasets import SIMILAR_SCENARIOS
+from repro.eval import format_full_sweep, run_injection_rate_sweep
+
+
+@pytest.mark.figure("fig8")
+def test_fig08_similar_injection(ctx, run_once):
+    sweep = run_once(run_injection_rate_sweep, ctx, SIMILAR_SCENARIOS)
+    print()
+    print(format_full_sweep(sweep))
+    for scenario in SIMILAR_SCENARIOS:
+        asr = sweep.series(scenario.key, "asr")
+        uasr = sweep.series(scenario.key, "uasr")
+        cdr = sweep.series(scenario.key, "cdr")
+        # Shape checks: ASR grows with the injection rate; UASR >= ASR;
+        # CDR stays well above chance.
+        assert asr[-1] >= asr[0] - 0.3  # rising, modulo 1-rep noise
+        assert all(u >= a - 1e-9 for u, a in zip(uasr, asr))
+        assert cdr[-1] > 1.0 / 6.0

@@ -1,0 +1,17 @@
+"""Fig. 9 — ASR/UASR/CDR vs number of poisoned frames, similar attacks."""
+
+import pytest
+
+from repro.datasets import SIMILAR_SCENARIOS
+from repro.eval import format_full_sweep, run_poisoned_frames_sweep
+
+
+@pytest.mark.figure("fig9")
+def test_fig09_similar_frames(ctx, run_once):
+    sweep = run_once(run_poisoned_frames_sweep, ctx, SIMILAR_SCENARIOS)
+    print()
+    print(format_full_sweep(sweep))
+    for scenario in SIMILAR_SCENARIOS:
+        asr = sweep.series(scenario.key, "asr")
+        # More poisoned frames -> stronger backdoor (paper Fig. 9a).
+        assert asr[-1] >= asr[0] - 0.3  # rising, modulo 1-rep noise

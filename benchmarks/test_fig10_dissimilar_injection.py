@@ -1,0 +1,18 @@
+"""Fig. 10 — ASR/UASR/CDR vs injection rate, dissimilar-trajectory attacks."""
+
+import pytest
+
+from repro.datasets import DISSIMILAR_SCENARIOS
+from repro.eval import format_full_sweep, run_injection_rate_sweep
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_dissimilar_injection(ctx, run_once):
+    sweep = run_once(run_injection_rate_sweep, ctx, DISSIMILAR_SCENARIOS)
+    print()
+    print(format_full_sweep(sweep))
+    for scenario in DISSIMILAR_SCENARIOS:
+        asr = sweep.series(scenario.key, "asr")
+        uasr = sweep.series(scenario.key, "uasr")
+        assert asr[-1] >= asr[0] - 0.3  # rising, modulo 1-rep noise
+        assert all(u >= a - 1e-9 for u, a in zip(uasr, asr))

@@ -1,0 +1,16 @@
+"""Fig. 11 — ASR/UASR/CDR vs number of poisoned frames, dissimilar attacks."""
+
+import pytest
+
+from repro.datasets import DISSIMILAR_SCENARIOS
+from repro.eval import format_full_sweep, run_poisoned_frames_sweep
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_dissimilar_frames(ctx, run_once):
+    sweep = run_once(run_poisoned_frames_sweep, ctx, DISSIMILAR_SCENARIOS)
+    print()
+    print(format_full_sweep(sweep))
+    for scenario in DISSIMILAR_SCENARIOS:
+        asr = sweep.series(scenario.key, "asr")
+        assert asr[-1] >= asr[0] - 0.3  # rising, modulo 1-rep noise

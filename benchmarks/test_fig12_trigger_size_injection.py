@@ -1,0 +1,17 @@
+"""Fig. 12 — trigger size (2x2 vs 4x4) over injection rates, Push->Pull."""
+
+import pytest
+
+from repro.eval import format_full_sweep, run_trigger_size_injection_sweep
+
+
+@pytest.mark.figure("fig12")
+def test_fig12_trigger_size_injection(ctx, run_once):
+    sweep = run_once(run_trigger_size_injection_sweep, ctx)
+    print()
+    print(format_full_sweep(sweep))
+    # Paper: the two sizes perform within normal training fluctuation.
+    asr_small = sweep.series("2x2", "asr")
+    asr_large = sweep.series("4x4", "asr")
+    gap = max(abs(a - b) for a, b in zip(asr_small, asr_large))
+    assert gap <= 0.5

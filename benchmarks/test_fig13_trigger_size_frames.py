@@ -1,0 +1,15 @@
+"""Fig. 13 — trigger size (2x2 vs 4x4) over poisoned-frame counts."""
+
+import pytest
+
+from repro.eval import format_full_sweep, run_trigger_size_frames_sweep
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_trigger_size_frames(ctx, run_once):
+    sweep = run_once(run_trigger_size_frames_sweep, ctx)
+    print()
+    print(format_full_sweep(sweep))
+    for name in ("2x2", "4x4"):
+        asr = sweep.series(name, "asr")
+        assert asr[-1] >= asr[0] - 0.25  # both sizes respond to more frames

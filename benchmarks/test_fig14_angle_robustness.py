@@ -1,0 +1,17 @@
+"""Fig. 14 — impact of the attacker's angle on ASR (seen + zero-shot)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import format_robustness, run_angle_robustness
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_angle_robustness(ctx, run_once):
+    result = run_once(run_angle_robustness, ctx, 4)
+    print()
+    print(format_robustness(result))
+    # Paper: the trigger fires at all angles, including zero-shot ones.
+    assert np.mean(result.asr) > 0.2
+    zero_shot = [a for a, seen in zip(result.asr, result.seen_mask) if not seen]
+    assert max(zero_shot) > 0.0

@@ -1,0 +1,15 @@
+"""Section VI-D — IF-signal simulator throughput."""
+
+import pytest
+
+from repro.eval import format_throughput, run_simulator_throughput
+
+
+@pytest.mark.figure("sec6d")
+def test_sec6d_simulator_throughput(ctx, run_once):
+    result = run_once(run_simulator_throughput, ctx)
+    print()
+    print(format_throughput(result))
+    # Paper: ~0.87 s per TX-RX pair per activity on GPU PyTorch.  The
+    # vectorized NumPy path must stay within interactive bounds.
+    assert result.seconds_per_pair_activity < 5.0

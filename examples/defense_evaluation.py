@@ -1,0 +1,69 @@
+"""Defenses against the physical backdoor (paper Section VII).
+
+Evaluates both proposed countermeasures on simulated data:
+
+* a *trigger detector* — a binary CNN-LSTM over position-canonicalized
+  heatmaps that flags reflector-bearing samples, and
+* *data augmentation* — adding correct-label triggered samples to
+  training, so the model stops associating the reflector with the
+  attacker's target label (measured as the drop in ASR).
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import SIMILAR_SCENARIOS
+from repro.eval import (
+    ExperimentContext,
+    format_defense,
+    format_spectral_defense,
+    preset_by_name,
+    run_defenses,
+    run_spectral_defense,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="fast", choices=["fast", "default"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--spectral", action="store_true",
+        help="also run the spectral-signature poison filter "
+             "(Tran et al. 2018; an extension beyond the paper)",
+    )
+    args = parser.parse_args()
+
+    preset = preset_by_name(args.preset)
+    scenario = SIMILAR_SCENARIOS[0]
+    print(f"Evaluating defenses against the {scenario.key} backdoor "
+          f"(preset '{preset.name}').")
+    print("This trains: a surrogate, a baseline backdoored model, a trigger "
+          "detector,\nand an augmentation-hardened model — a few minutes at "
+          "the fast preset.\n")
+
+    ctx = ExperimentContext(preset, seed=args.seed)
+    result = run_defenses(ctx)
+    print(format_defense(result))
+
+    drop = result.asr_without_defense - result.asr_with_augmentation
+    print(f"\nAugmentation removed {drop:+.1%} of attack success while "
+          f"keeping clean accuracy at {result.cdr_with_augmentation:.1%}.")
+    print(f"Detector AUC {result.detector_report.auc:.3f}: "
+          "reflector returns are separable from clean gestures once the "
+          "subject position is canonicalized out.")
+
+    if args.spectral:
+        print("\nRunning the spectral-signature filter "
+              "(two more trainings)...")
+        spectral = run_spectral_defense(ctx)
+        print(format_spectral_defense(spectral))
+
+
+if __name__ == "__main__":
+    main()

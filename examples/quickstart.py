@@ -1,0 +1,57 @@
+"""Quickstart: simulate a dataset, train the HAR prototype, evaluate it.
+
+This walks the paper's Section II-A pipeline end to end on synthetic data:
+FMCW IF simulation -> DRAI heatmaps -> CNN-LSTM classification of the six
+hand activities.
+
+Run:  python examples/quickstart.py [--preset fast|default]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import ACTIVITY_DISPLAY_NAMES, SampleGenerator
+from repro.eval import preset_by_name
+from repro.models import CNNLSTMClassifier, Trainer, confusion_matrix
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="fast", choices=["fast", "default"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    preset = preset_by_name(args.preset)
+    print(f"[1/3] Simulating {preset.samples_per_class} samples per activity "
+          f"({preset.num_frames} frames each) through the FMCW radar model...")
+    generator = SampleGenerator(preset.generation_config(), seed=args.seed)
+    dataset = generator.generate_dataset(samples_per_class=preset.samples_per_class)
+    rng = np.random.default_rng(args.seed)
+    train, test = dataset.split(preset.train_fraction, rng)
+    print(f"      {len(train)} training / {len(test)} test samples, "
+          f"frame shape {dataset.frame_shape}")
+
+    print(f"[2/3] Training the CNN-LSTM prototype ({preset.epochs} epochs)...")
+    model = CNNLSTMClassifier(preset.model_config(), np.random.default_rng(args.seed))
+    trainer = Trainer(preset.training_config(seed=args.seed, verbose=True))
+    history = trainer.fit(model, train.x, train.y)
+    print(f"      done in {history.wall_time_s:.0f}s "
+          f"(best epoch {history.best_epoch + 1})")
+
+    print("[3/3] Evaluating on held-out samples...")
+    predictions = model.predict(test.x)
+    accuracy = float((predictions == test.y).mean())
+    matrix = confusion_matrix(predictions, test.y, 6)
+    print(f"\nClean test accuracy: {accuracy:.1%} "
+          "(paper's full-scale prototype: 99.42%)\n")
+    names = [n[:6] for n in ACTIVITY_DISPLAY_NAMES]
+    print(" " * 8 + " ".join(f"{n:>6}" for n in names))
+    for i, row in enumerate(matrix):
+        print(f"{names[i]:>8}" + " ".join(f"{v:>6}" for v in row))
+
+
+if __name__ == "__main__":
+    main()

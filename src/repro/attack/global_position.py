@@ -1,0 +1,101 @@
+"""SHAP-weighted global trigger position (paper Eq. 4).
+
+The per-frame optima drift as the hand moves, but the attacker cannot
+relocate the reflector mid-gesture, so a single global position is chosen
+by minimizing the SHAP-weighted sum of distances to the per-frame optima:
+
+    min_gop  sum_i  phi_i * || op_i - gop ||_2
+
+— a weighted geometric median, solved with Weiszfeld iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .placement import PlacementResult
+
+
+def weighted_geometric_median(
+    points: np.ndarray,
+    weights: np.ndarray | None = None,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Weiszfeld's algorithm for the weighted geometric median.
+
+    Handles the degenerate cases (a single point, all weights on one
+    point, an iterate landing exactly on a data point) that the textbook
+    iteration divides by zero on.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be (N, D)")
+    n = len(points)
+    if n == 0:
+        raise ValueError("need at least one point")
+    if weights is None:
+        weights = np.ones(n)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (n,):
+        raise ValueError("weights must match points")
+    weights = np.clip(weights, 0.0, None)
+    total = weights.sum()
+    if total <= 0.0:
+        weights = np.ones(n)
+        total = float(n)
+    weights = weights / total
+
+    estimate = (points * weights[:, None]).sum(axis=0)
+    for _ in range(max_iterations):
+        offsets = points - estimate
+        distances = np.linalg.norm(offsets, axis=1)
+        at_point = distances < 1e-12
+        if at_point.any():
+            # The iterate coincides with a data point; Weiszfeld's update
+            # is undefined there.  That point is the median if its weight
+            # dominates the pull of the others.
+            pull = (
+                points[~at_point] - estimate
+            ) * (weights[~at_point] / distances[~at_point])[:, None]
+            if np.linalg.norm(pull.sum(axis=0)) <= weights[at_point].sum() + 1e-12:
+                return estimate
+            distances = np.where(at_point, 1e-12, distances)
+        inv = weights / distances
+        new_estimate = (points * inv[:, None]).sum(axis=0) / inv.sum()
+        if np.linalg.norm(new_estimate - estimate) < tolerance:
+            return new_estimate
+        estimate = new_estimate
+    return estimate
+
+
+def global_optimal_position(
+    placement: PlacementResult,
+    shap_values: np.ndarray,
+) -> np.ndarray:
+    """Eq. 4: the SHAP-weighted geometric median of per-frame optima."""
+    shap_values = np.asarray(shap_values, dtype=float)
+    if shap_values.shape != (placement.num_frames,):
+        raise ValueError(
+            f"need one SHAP value per frame ({placement.num_frames}), "
+            f"got {shap_values.shape}"
+        )
+    # Negative SHAP frames argue against the prediction; they get no say
+    # in where the trigger sits.
+    weights = np.clip(shap_values, 0.0, None)
+    return weighted_geometric_median(placement.per_frame_best_position, weights)
+
+
+def snap_to_candidate(
+    position: np.ndarray, placement: PlacementResult
+) -> "tuple[int, str, np.ndarray]":
+    """Nearest physically-realizable candidate to a continuous position.
+
+    The geometric median generally falls between candidate points; the
+    attacker tapes the reflector to the closest actual body location.
+    Returns ``(index, name, snapped position)``.
+    """
+    position = np.asarray(position, dtype=float)
+    distances = np.linalg.norm(placement.candidate_positions - position, axis=1)
+    index = int(distances.argmin())
+    return index, placement.candidate_names[index], placement.candidate_positions[index]

@@ -1,0 +1,193 @@
+"""Per-frame optimal trigger position search (paper Eq. 2).
+
+For every candidate position on the human body, the optimizer simulates
+the trigger's signal contribution, regenerates the DRAI heatmaps, extracts
+CNN features with the surrogate model, and scores
+
+    alpha * || l(h(R(y'))) - l(h(R(y))) ||_2          (feature change)
+    - beta * || h(R(y')) - h(R(y)) ||_2               (heatmap deviation)
+
+per frame — maximizing the feature shift the LSTM can latch onto while
+keeping the poisoned heatmaps close to clean ones (stealth, Fig. 5).
+
+The paper notes measuring this physically at every body position is
+impractical; like the paper, we run the search entirely inside the RF
+simulator.  The trigger rides rigidly on the torso, so its facet
+contribution is computed once per candidate and added to every frame's
+base cube (arm-trigger occlusion interplay is neglected, a second-order
+effect for chest-front candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.generation import SampleGenerator
+from ..geometry.human import BODY_ATTACHMENT_POINTS, BodyShape, HumanModel, TrajectoryStyle
+from ..geometry.transforms import subject_placement
+from ..models.cnn_lstm import CNNLSTMClassifier
+from ..radar.heatmap import drai_sequence
+from .trigger import ReflectorTrigger
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Weights and candidate-set options of the Eq. 2 search."""
+
+    #: Weight of the feature-distance term (``alpha`` in Eq. 2).
+    alpha: float = 1.0
+    #: Weight of the heatmap-deviation penalty (``beta`` in Eq. 2).
+    beta: float = 0.25
+    #: Include the named body attachment points as candidates.
+    use_named_points: bool = True
+    #: Torso-front grid resolution (0 disables the grid).
+    grid_nx: int = 3
+    grid_nz: int = 5
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+        if not self.use_named_points and (self.grid_nx < 1 or self.grid_nz < 1):
+            raise ValueError("candidate set would be empty")
+
+
+@dataclass
+class PlacementResult:
+    """Output of the per-frame position search.
+
+    ``objective`` is the ``(num_candidates, num_frames)`` Eq. 2 score
+    matrix; per-frame optima are its argmax rows.
+    """
+
+    candidate_positions: np.ndarray  # (C, 3) subject-local
+    candidate_names: "list[str]"
+    objective: np.ndarray  # (C, T)
+    feature_distance: np.ndarray  # (C, T)
+    heatmap_deviation: np.ndarray  # (C, T)
+
+    @property
+    def num_frames(self) -> int:
+        return self.objective.shape[1]
+
+    @property
+    def per_frame_best_index(self) -> np.ndarray:
+        """``(T,)`` candidate index maximizing the objective per frame."""
+        return self.objective.argmax(axis=0)
+
+    @property
+    def per_frame_best_position(self) -> np.ndarray:
+        """``(T, 3)`` the per-frame optimal positions ``op_i`` of Eq. 4."""
+        return self.candidate_positions[self.per_frame_best_index]
+
+    def best_overall_index(self, frame_weights: np.ndarray | None = None) -> int:
+        """Candidate maximizing the (optionally weighted) mean objective."""
+        if frame_weights is None:
+            scores = self.objective.mean(axis=1)
+        else:
+            weights = np.asarray(frame_weights, dtype=float)
+            weights = np.clip(weights, 0.0, None)
+            total = weights.sum()
+            if total <= 0.0:
+                weights = np.ones(self.num_frames) / self.num_frames
+            else:
+                weights = weights / total
+            scores = self.objective @ weights
+        return int(scores.argmax())
+
+    def position_name(self, index: int) -> str:
+        return self.candidate_names[index]
+
+
+def candidate_positions(
+    model: HumanModel, config: PlacementConfig
+) -> "tuple[np.ndarray, list[str]]":
+    """The candidate set: named attachment points plus a torso-front grid."""
+    positions = []
+    names = []
+    if config.use_named_points:
+        for name, point in BODY_ATTACHMENT_POINTS.items():
+            positions.append(np.asarray(point, dtype=float))
+            names.append(name)
+    if config.grid_nx >= 1 and config.grid_nz >= 1:
+        grid = model.torso_front_grid(config.grid_nx, config.grid_nz)
+        for index, point in enumerate(grid):
+            positions.append(point)
+            names.append(f"grid_{index}")
+    return np.stack(positions), names
+
+
+class TriggerPlacementOptimizer:
+    """Runs the Eq. 2 search for one activity execution."""
+
+    def __init__(
+        self,
+        surrogate: CNNLSTMClassifier,
+        generator: SampleGenerator,
+        trigger: ReflectorTrigger,
+        config: PlacementConfig | None = None,
+    ):
+        self.surrogate = surrogate
+        self.generator = generator
+        self.trigger = trigger
+        self.config = config or PlacementConfig()
+
+    def optimize(
+        self,
+        activity: str,
+        distance_m: float,
+        angle_deg: float,
+        stature: float = 1.0,
+        style: TrajectoryStyle | None = None,
+    ) -> PlacementResult:
+        """Score every candidate position for every frame of one execution."""
+        generator = self.generator
+        simulator = generator.simulator
+        style = style or TrajectoryStyle()
+        bodies, transforms = generator.sample_scene(
+            activity, distance_m, angle_deg, stature, style
+        )
+        meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
+        base_cubes = simulator.simulate_sequence(
+            meshes, extra_facets=generator._environment_facets or None
+        )
+        heatmap_config = generator.config.heatmap
+        clean_heatmaps = drai_sequence(base_cubes, heatmap_config)
+        clean_features = self.surrogate.frame_features(clean_heatmaps)[0]
+
+        human = HumanModel(BodyShape(stature_scale=stature))
+        candidates, names = candidate_positions(human, self.config)
+
+        num_frames = len(base_cubes)
+        objective = np.zeros((len(candidates), num_frames))
+        feature_distance = np.zeros_like(objective)
+        heatmap_deviation = np.zeros_like(objective)
+
+        for c_index, position in enumerate(candidates):
+            trigger_local = self.trigger.mesh_at(position)
+            trigger_cubes = np.stack(
+                [
+                    simulator.frame_cube(trigger_local.transformed(tr))
+                    for tr in transforms
+                ]
+            )
+            poisoned = drai_sequence(base_cubes + trigger_cubes, heatmap_config)
+            poisoned_features = self.surrogate.frame_features(poisoned)[0]
+            d_feat = np.linalg.norm(poisoned_features - clean_features, axis=1)
+            d_heat = np.linalg.norm(
+                (poisoned - clean_heatmaps).reshape(num_frames, -1), axis=1
+            )
+            feature_distance[c_index] = d_feat
+            heatmap_deviation[c_index] = d_heat
+            objective[c_index] = self.config.alpha * d_feat - self.config.beta * d_heat
+
+        return PlacementResult(
+            candidate_positions=candidates,
+            candidate_names=names,
+            objective=objective,
+            feature_distance=feature_distance,
+            heatmap_deviation=heatmap_deviation,
+        )

@@ -1,0 +1,110 @@
+"""Physical reflector triggers (paper Sections V-B, VI-C).
+
+The trigger is a passive aluminum-sheet reflector, roughly credit-card to
+hand sized, taped to the attacker's body (optionally under clothing).  In
+the Eq. 3 signal model a reflector is fully described by its facet areas,
+material reflectivity and orientation — exactly what this module builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..geometry.mesh import ALUMINUM_REFLECTIVITY, TriangleMesh
+from ..geometry.primitives import planar_patch
+
+INCH_M = 0.0254
+
+#: Radar-transparent fabrics attenuate 77 GHz two-way power only slightly;
+#: the paper finds under-clothing attacks within normal fluctuation.
+CLOTHING_ATTENUATION = 0.92
+
+
+@dataclass(frozen=True)
+class ReflectorTrigger:
+    """A rectangular metal reflector patch.
+
+    Attributes
+    ----------
+    width_m, height_m:
+        Physical extent of the reflecting face.
+    reflectivity:
+        Material reflectivity ``A_m`` (1.0 for aluminum sheet).
+    under_clothing:
+        Apply the two-way fabric attenuation (stealthy placement).
+    specular_gain:
+        A flat conducting plate facing the radar reflects *specularly*:
+        its radar cross-section is ``4 pi A^2 / lambda^2`` — orders of
+        magnitude above the diffuse area-proportional return the Eq. 3
+        facet model assigns.  This factor scales the facet reflectivities
+        to restore the specular flash (a 2x2-inch plate at 77 GHz has an
+        RCS equivalent of several square meters when square-on).
+    subdivisions:
+        Mesh resolution of the patch (per edge).
+    name:
+        Display label (e.g. ``"2x2"``) used in experiment reports.
+    """
+
+    width_m: float = 2.0 * INCH_M
+    height_m: float = 2.0 * INCH_M
+    reflectivity: float = ALUMINUM_REFLECTIVITY
+    under_clothing: bool = False
+    specular_gain: float = 15.0
+    subdivisions: int = 2
+    name: str = "2x2"
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("trigger dimensions must be positive")
+        if not 0 < self.reflectivity <= 1.0:
+            raise ValueError("reflectivity must be in (0, 1]")
+        if self.specular_gain < 1.0:
+            raise ValueError("specular_gain must be >= 1")
+
+    @property
+    def effective_reflectivity(self) -> float:
+        """Facet reflectivity including the specular gain (may exceed 1)."""
+        base = self.reflectivity * self.specular_gain
+        if self.under_clothing:
+            return base * CLOTHING_ATTENUATION
+        return base
+
+    @property
+    def area_m2(self) -> float:
+        return self.width_m * self.height_m
+
+    def concealed(self) -> "ReflectorTrigger":
+        """The same trigger hidden under clothing."""
+        return replace(self, under_clothing=True, name=f"{self.name}-concealed")
+
+    def mesh_at(self, position: np.ndarray) -> TriangleMesh:
+        """Trigger mesh attached at a subject-local ``position``.
+
+        The patch faces ``-y`` (toward the radar for a subject facing the
+        sensor), standing slightly proud of the body surface so visibility
+        filtering keeps it in front of the torso.
+        """
+        position = np.asarray(position, dtype=float)
+        if position.shape != (3,):
+            raise ValueError("position must be a 3-vector")
+        patch = planar_patch(
+            self.width_m,
+            self.height_m,
+            subdivisions=self.subdivisions,
+            reflectivity=self.effective_reflectivity,
+            name=f"trigger-{self.name}",
+        )
+        # Stand 8 mm proud of the attachment point, toward the radar.
+        return patch.translated(position + np.array([0.0, -0.008, 0.0]))
+
+
+def inches(value: float) -> float:
+    """Convenience: inches to meters."""
+    return value * INCH_M
+
+
+#: The two trigger sizes the paper evaluates (1/32-inch aluminum sheet).
+TRIGGER_2X2 = ReflectorTrigger(width_m=inches(2), height_m=inches(2), name="2x2")
+TRIGGER_4X4 = ReflectorTrigger(width_m=inches(4), height_m=inches(4), name="4x4")

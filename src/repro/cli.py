@@ -1,0 +1,165 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig7 --preset fast
+    python -m repro run fig8 --preset default --seed 1
+    python -m repro run all --preset fast
+
+Each experiment prints the same rows/series the corresponding paper figure
+shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
+from .eval import (
+    ExperimentContext,
+    format_ablation,
+    format_confusion_matrix,
+    format_defense,
+    format_full_sweep,
+    format_histogram,
+    format_robustness,
+    format_spectral_defense,
+    format_stealth,
+    format_throughput,
+    preset_by_name,
+    run_ablation,
+    run_angle_robustness,
+    run_clean_prototype,
+    run_defenses,
+    run_distance_robustness,
+    run_frame_importance,
+    run_heatmap_stealth,
+    run_injection_rate_sweep,
+    run_poisoned_frames_sweep,
+    run_simulator_throughput,
+    run_spectral_defense,
+    run_trigger_size_frames_sweep,
+    run_trigger_size_injection_sweep,
+)
+
+#: experiment id -> (description, runner(ctx) -> printable string)
+EXPERIMENTS: "dict[str, tuple[str, Callable[[ExperimentContext], str]]]" = {
+    "fig3": (
+        "Most-important-frame index histogram (SHAP)",
+        lambda ctx: format_histogram(run_frame_importance(ctx)),
+    ),
+    "fig5": (
+        "DRAI heatmaps with vs without a trigger (stealth)",
+        lambda ctx: format_stealth(run_heatmap_stealth(ctx)),
+    ),
+    "fig7": (
+        "Clean prototype confusion matrix",
+        lambda ctx: format_confusion_matrix(run_clean_prototype(ctx)),
+    ),
+    "fig8": (
+        "ASR/UASR/CDR vs injection rate (similar trajectory)",
+        lambda ctx: format_full_sweep(
+            run_injection_rate_sweep(ctx, SIMILAR_SCENARIOS)
+        ),
+    ),
+    "fig9": (
+        "ASR/UASR/CDR vs #poisoned frames (similar trajectory)",
+        lambda ctx: format_full_sweep(
+            run_poisoned_frames_sweep(ctx, SIMILAR_SCENARIOS)
+        ),
+    ),
+    "fig10": (
+        "ASR/UASR/CDR vs injection rate (dissimilar trajectory)",
+        lambda ctx: format_full_sweep(
+            run_injection_rate_sweep(ctx, DISSIMILAR_SCENARIOS)
+        ),
+    ),
+    "fig11": (
+        "ASR/UASR/CDR vs #poisoned frames (dissimilar trajectory)",
+        lambda ctx: format_full_sweep(
+            run_poisoned_frames_sweep(ctx, DISSIMILAR_SCENARIOS)
+        ),
+    ),
+    "fig12": (
+        "Trigger size comparison over injection rates",
+        lambda ctx: format_full_sweep(run_trigger_size_injection_sweep(ctx)),
+    ),
+    "fig13": (
+        "Trigger size comparison over #poisoned frames",
+        lambda ctx: format_full_sweep(run_trigger_size_frames_sweep(ctx)),
+    ),
+    "fig14": (
+        "ASR vs attacker angle (seen + zero-shot)",
+        lambda ctx: format_robustness(run_angle_robustness(ctx)),
+    ),
+    "fig15": (
+        "ASR vs attacker distance (seen + zero-shot)",
+        lambda ctx: format_robustness(run_distance_robustness(ctx)),
+    ),
+    "table1": (
+        "Module ablation + under-clothing triggers",
+        lambda ctx: format_ablation(run_ablation(ctx)),
+    ),
+    "sec6d": (
+        "RF simulator throughput",
+        lambda ctx: format_throughput(run_simulator_throughput(ctx)),
+    ),
+    "sec7": (
+        "Defenses: trigger detection + augmentation",
+        lambda ctx: format_defense(run_defenses(ctx)),
+    ),
+    "spectral": (
+        "Extension: spectral-signature poison filtering",
+        lambda ctx: format_spectral_defense(run_spectral_defense(ctx)),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Physical Backdoor Attacks "
+        "against mmWave-based Human Activity Recognition' (ICDCS 2025).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--preset", default="fast",
+                     choices=["fast", "default", "paper"])
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk dataset cache")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{key:<{width}}  {description}")
+        return 0
+
+    preset = preset_by_name(args.preset)
+    context = ExperimentContext(
+        preset, seed=args.seed, use_disk_cache=not args.no_cache
+    )
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} (preset {preset.name}) ===")
+        start = time.perf_counter()
+        print(runner(context))
+        print(f"--- {name} done in {time.perf_counter() - start:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

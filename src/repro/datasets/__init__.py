@@ -1,0 +1,57 @@
+"""Synthetic data collection: activities, generation, containers, caching."""
+
+from ..geometry.human import ACTIVITY_NAMES
+from .activities import (
+    ACTIVITY_DISPLAY_NAMES,
+    ACTIVITY_LABELS,
+    DISSIMILAR_SCENARIOS,
+    NUM_ACTIVITIES,
+    ROBUSTNESS_ANGLES_DEG,
+    ROBUSTNESS_DISTANCES_M,
+    SIMILAR_SCENARIOS,
+    TRAINING_ANGLES_DEG,
+    TRAINING_DISTANCES_M,
+    AttackScenario,
+    activity_label,
+    activity_name,
+    similar_scenario,
+    training_positions,
+)
+from .cache import (
+    cache_key,
+    cached_dataset,
+    default_cache_dir,
+    load_dataset,
+    save_dataset,
+)
+from .dataset import HeatmapDataset, SampleMeta, concat_datasets
+from .generation import PARTICIPANT_STATURES, GenerationConfig, SampleGenerator
+
+__all__ = [
+    "ACTIVITY_DISPLAY_NAMES",
+    "ACTIVITY_NAMES",
+    "ACTIVITY_LABELS",
+    "AttackScenario",
+    "DISSIMILAR_SCENARIOS",
+    "GenerationConfig",
+    "HeatmapDataset",
+    "NUM_ACTIVITIES",
+    "PARTICIPANT_STATURES",
+    "ROBUSTNESS_ANGLES_DEG",
+    "ROBUSTNESS_DISTANCES_M",
+    "SIMILAR_SCENARIOS",
+    "SampleGenerator",
+    "SampleMeta",
+    "TRAINING_ANGLES_DEG",
+    "TRAINING_DISTANCES_M",
+    "activity_label",
+    "activity_name",
+    "cache_key",
+    "cached_dataset",
+    "concat_datasets",
+    "default_cache_dir",
+    "load_dataset",
+    "save_dataset",
+    "similar_scenario",
+    "training_positions",
+]

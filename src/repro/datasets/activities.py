@@ -1,0 +1,102 @@
+"""Activity label space and the paper's attack scenario definitions.
+
+The prototype recognizes six hand activities (paper Section II-A).  The
+evaluation distinguishes *similar trajectory* attacks — mapping an activity
+to its mirrored counterpart — from *dissimilar trajectory* attacks
+(Section VI-E.1/2); the scenario constants here are the exact pairs the
+paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.human import ACTIVITY_NAMES, mirror_activity
+
+#: Human-readable display names, in label order.
+ACTIVITY_DISPLAY_NAMES = (
+    "Push",
+    "Pull",
+    "Left Swipe",
+    "Right Swipe",
+    "Clockwise",
+    "Anticlockwise",
+)
+
+NUM_ACTIVITIES = len(ACTIVITY_NAMES)
+
+#: name -> integer label
+ACTIVITY_LABELS: "dict[str, int]" = {name: i for i, name in enumerate(ACTIVITY_NAMES)}
+
+
+def activity_label(name: str) -> int:
+    """Integer label of an activity name."""
+    if name not in ACTIVITY_LABELS:
+        raise KeyError(f"unknown activity {name!r}; choose from {ACTIVITY_NAMES}")
+    return ACTIVITY_LABELS[name]
+
+
+def activity_name(label: int) -> str:
+    """Canonical name of an integer label."""
+    if not 0 <= label < NUM_ACTIVITIES:
+        raise IndexError(f"label {label} out of range")
+    return ACTIVITY_NAMES[label]
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A (victim activity -> target activity) backdoor mapping."""
+
+    victim: str
+    target: str
+    similar: bool
+
+    def __post_init__(self) -> None:
+        for name in (self.victim, self.target):
+            if name not in ACTIVITY_LABELS:
+                raise ValueError(f"unknown activity {name!r}")
+        if self.victim == self.target:
+            raise ValueError("victim and target must differ")
+
+    @property
+    def victim_label(self) -> int:
+        return ACTIVITY_LABELS[self.victim]
+
+    @property
+    def target_label(self) -> int:
+        return ACTIVITY_LABELS[self.target]
+
+    @property
+    def key(self) -> str:
+        return f"{self.victim}->{self.target}"
+
+
+def similar_scenario(victim: str) -> AttackScenario:
+    """The mirrored-counterpart attack for a victim activity."""
+    return AttackScenario(victim=victim, target=mirror_activity(victim), similar=True)
+
+
+#: Section VI-E.1: similar trajectory attack scenarios.
+SIMILAR_SCENARIOS = (
+    AttackScenario("push", "pull", similar=True),
+    AttackScenario("left_swipe", "right_swipe", similar=True),
+)
+
+#: Section VI-E.2: dissimilar trajectory attack scenarios.
+DISSIMILAR_SCENARIOS = (
+    AttackScenario("push", "right_swipe", similar=False),
+    AttackScenario("push", "anticlockwise", similar=False),
+)
+
+#: Section VI-B: the 12 training positions (4 distances x 3 angles).
+TRAINING_DISTANCES_M = (0.8, 1.2, 1.6, 2.0)
+TRAINING_ANGLES_DEG = (-30.0, 0.0, 30.0)
+
+#: Section VI-F.2: robustness sweep grids (seen + zero-shot values).
+ROBUSTNESS_ANGLES_DEG = (-30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 30.0)
+ROBUSTNESS_DISTANCES_M = (0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+def training_positions() -> "list[tuple[float, float]]":
+    """The 12 (distance, angle) combinations of the prototype's data grid."""
+    return [(d, a) for d in TRAINING_DISTANCES_M for a in TRAINING_ANGLES_DEG]

@@ -1,0 +1,80 @@
+"""Disk caching of generated datasets as ``.npz`` archives.
+
+Simulated data collection is the slowest pipeline stage, so experiments
+cache datasets keyed by their generation parameters and reuse them across
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import HeatmapDataset, SampleMeta
+
+_META_FIELDS = (
+    "activity",
+    "distance_m",
+    "angle_deg",
+    "participant",
+    "has_trigger",
+    "trigger_attachment",
+)
+
+
+def save_dataset(dataset: HeatmapDataset, path: "str | os.PathLike") -> None:
+    """Write a dataset (including per-sample metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta_json = json.dumps(
+        [
+            {name: getattr(m, name) for name in _META_FIELDS}
+            for m in dataset.meta
+        ]
+    )
+    np.savez_compressed(
+        path, x=dataset.x, y=dataset.y, meta=np.frombuffer(meta_json.encode(), dtype=np.uint8)
+    )
+
+
+def load_dataset(path: "str | os.PathLike") -> HeatmapDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path)) as archive:
+        x = archive["x"]
+        y = archive["y"]
+        meta_json = bytes(archive["meta"]).decode()
+    meta = [SampleMeta(**entry) for entry in json.loads(meta_json)]
+    return HeatmapDataset(x, y, meta)
+
+
+def cache_key(params: dict) -> str:
+    """A stable 16-hex-digit key for a parameter dictionary."""
+    canonical = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-mmwave-backdoor"
+
+
+def cached_dataset(params: dict, builder, cache_dir: "Path | None" = None) -> HeatmapDataset:
+    """Load the dataset for ``params`` from cache, or build and store it.
+
+    ``builder`` is a zero-argument callable producing the dataset when the
+    cache misses.
+    """
+    directory = cache_dir or default_cache_dir()
+    path = directory / f"dataset-{cache_key(params)}.npz"
+    if path.exists():
+        return load_dataset(path)
+    dataset = builder()
+    save_dataset(dataset, path)
+    return dataset

@@ -1,0 +1,129 @@
+"""In-memory heatmap dataset containers with splits and filtering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleMeta:
+    """Provenance of one activity sample."""
+
+    activity: str
+    distance_m: float
+    angle_deg: float
+    participant: int = 0
+    has_trigger: bool = False
+    trigger_attachment: str = ""
+
+    def with_trigger(self, attachment: str) -> "SampleMeta":
+        return replace(self, has_trigger=True, trigger_attachment=attachment)
+
+
+@dataclass
+class HeatmapDataset:
+    """A labeled set of DRAI heatmap sequences.
+
+    Attributes
+    ----------
+    x:
+        ``(N, T, H, W)`` float32 heatmap sequences.
+    y:
+        ``(N,)`` integer activity labels.
+    meta:
+        Per-sample provenance, parallel to ``x``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    meta: "list[SampleMeta]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float32)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.ndim != 4:
+            raise ValueError(f"x must be (N, T, H, W), got {self.x.shape}")
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y lengths differ")
+        if self.meta and len(self.meta) != len(self.x):
+            raise ValueError("meta length differs from x")
+        if not self.meta:
+            self.meta = [
+                SampleMeta(activity=str(int(label)), distance_m=0.0, angle_deg=0.0)
+                for label in self.y
+            ]
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def num_frames(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def frame_shape(self) -> "tuple[int, int]":
+        return self.x.shape[2], self.x.shape[3]
+
+    def subset(self, indices: np.ndarray | Iterable[int]) -> "HeatmapDataset":
+        indices = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        return HeatmapDataset(
+            self.x[indices], self.y[indices], [self.meta[i] for i in indices]
+        )
+
+    def filter(self, predicate: Callable[[SampleMeta, int], bool]) -> "HeatmapDataset":
+        """Keep samples where ``predicate(meta, label)`` is True."""
+        keep = [i for i, (m, lab) in enumerate(zip(self.meta, self.y)) if predicate(m, int(lab))]
+        return self.subset(np.asarray(keep, dtype=int))
+
+    def class_indices(self, label: int) -> np.ndarray:
+        return np.flatnonzero(self.y == label)
+
+    def split(
+        self,
+        train_fraction: float,
+        rng: np.random.Generator,
+        stratify: bool = True,
+    ) -> "tuple[HeatmapDataset, HeatmapDataset]":
+        """Random (train, test) split, stratified by label by default."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        if stratify:
+            train_idx: "list[int]" = []
+            test_idx: "list[int]" = []
+            for label in np.unique(self.y):
+                members = rng.permutation(self.class_indices(int(label)))
+                cut = int(round(len(members) * train_fraction))
+                cut = min(max(cut, 1), len(members) - 1) if len(members) > 1 else len(members)
+                train_idx.extend(members[:cut])
+                test_idx.extend(members[cut:])
+            train_arr = rng.permutation(np.asarray(train_idx, dtype=int))
+            test_arr = rng.permutation(np.asarray(test_idx, dtype=int))
+        else:
+            order = rng.permutation(len(self))
+            cut = int(round(len(self) * train_fraction))
+            train_arr, test_arr = order[:cut], order[cut:]
+        return self.subset(train_arr), self.subset(test_arr)
+
+    def shuffled(self, rng: np.random.Generator) -> "HeatmapDataset":
+        return self.subset(rng.permutation(len(self)))
+
+    def copy(self) -> "HeatmapDataset":
+        return HeatmapDataset(self.x.copy(), self.y.copy(), list(self.meta))
+
+
+def concat_datasets(datasets: "Iterable[HeatmapDataset]") -> HeatmapDataset:
+    """Concatenate datasets with identical frame geometry."""
+    datasets = list(datasets)
+    if not datasets:
+        raise ValueError("no datasets to concatenate")
+    shapes = {d.x.shape[1:] for d in datasets}
+    if len(shapes) != 1:
+        raise ValueError(f"incompatible sample shapes: {shapes}")
+    return HeatmapDataset(
+        np.concatenate([d.x for d in datasets]),
+        np.concatenate([d.y for d in datasets]),
+        [m for d in datasets for m in d.meta],
+    )

@@ -1,0 +1,301 @@
+"""Simulator-driven dataset synthesis.
+
+Replaces the paper's physical data collection (Section VI-B): participants
+of different statures perform the six activities at the 12-position grid
+(4 distances x 3 angles), each sample rendered to a 32-frame DRAI heatmap
+sequence through the Eq. 3 RF simulator plus receiver noise and static
+environment clutter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.human import (
+    ACTIVITY_NAMES,
+    BodyShape,
+    HumanModel,
+    TrajectoryStyle,
+    hand_trajectory,
+)
+from ..geometry.mesh import TriangleMesh, merge_meshes
+from ..geometry.transforms import RigidTransform, subject_placement
+from ..radar.heatmap import HeatmapConfig, drai_sequence
+from ..radar.noise import add_thermal_noise, random_environment
+from ..radar.simulator import FmcwRadarSimulator, RadarConfig
+from .activities import TRAINING_ANGLES_DEG, TRAINING_DISTANCES_M, activity_label
+from .dataset import HeatmapDataset, SampleMeta
+
+#: Stature scales of the three prototype participants (Section VI-B).
+PARTICIPANT_STATURES = (0.93, 1.0, 1.07)
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Knobs of the synthetic data collection campaign."""
+
+    num_frames: int = 32
+    radar: RadarConfig = field(default_factory=RadarConfig)
+    heatmap: HeatmapConfig = field(default_factory=HeatmapConfig)
+    distances_m: "tuple[float, ...]" = TRAINING_DISTANCES_M
+    angles_deg: "tuple[float, ...]" = TRAINING_ANGLES_DEG
+    snr_db: float = 22.0
+    environment_objects: int = 2
+    participants: "tuple[float, ...]" = PARTICIPANT_STATURES
+    #: Torso micro-motion.  Real bodies are never radar-static: breathing
+    #: and postural sway move the torso by millimeters — several carrier
+    #: wavelengths of phase at 77 GHz — which is what keeps the subject
+    #: (and anything taped to them, like a reflector trigger) visible
+    #: after clutter-map background subtraction.
+    sway_amplitude_m: float = 0.004
+    breathing_amplitude_m: float = 0.0035
+    sway_frequency_hz: float = 0.45
+    breathing_frequency_hz: float = 0.28
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 2:
+            raise ValueError("need at least 2 frames")
+        if not self.distances_m or not self.angles_deg:
+            raise ValueError("need at least one distance and one angle")
+
+
+class SampleGenerator:
+    """Generates labeled DRAI heatmap samples through the RF simulator.
+
+    One generator models one *environment* (training hallway vs attacking
+    classroom — paper Section VI-C): construct two generators with
+    different ``environment_seed`` values for cross-environment studies.
+    """
+
+    def __init__(
+        self,
+        config: GenerationConfig | None = None,
+        seed: int = 0,
+        environment_seed: int | None = None,
+    ):
+        self.config = config or GenerationConfig()
+        self.rng = np.random.default_rng(seed)
+        env_rng = np.random.default_rng(
+            seed + 7919 if environment_seed is None else environment_seed
+        )
+        self.simulator = FmcwRadarSimulator(self.config.radar)
+        self._models: "dict[float, HumanModel]" = {}
+        if self.config.environment_objects > 0:
+            environment = random_environment(
+                env_rng, num_objects=self.config.environment_objects
+            )
+            self._environment_facets = [self.simulator.facet_set(environment)]
+        else:
+            self._environment_facets = []
+
+    def _human_model(self, stature: float) -> HumanModel:
+        if stature not in self._models:
+            self._models[stature] = HumanModel(BodyShape(stature_scale=stature))
+        return self._models[stature]
+
+    # ------------------------------------------------------------------
+    # Single-sample synthesis
+    # ------------------------------------------------------------------
+    def _frame_transforms(
+        self, distance_m: float, angle_deg: float
+    ) -> "list[RigidTransform]":
+        """Per-frame subject-to-world transforms: placement plus sway.
+
+        Breathing moves the torso along the subject's depth axis and sway
+        laterally, with random phases per sample.  Millimeter amplitudes
+        are several 77-GHz wavelengths of two-way phase, so background
+        subtraction leaves a strong residual — as with a live subject.
+        """
+        config = self.config
+        placement = subject_placement(distance_m, angle_deg)
+        phase_sway = float(self.rng.uniform(0.0, 2.0 * np.pi))
+        phase_breath = float(self.rng.uniform(0.0, 2.0 * np.pi))
+        dt = config.radar.chirp.frame_period_s
+        transforms = []
+        for t in range(config.num_frames):
+            time_s = t * dt
+            sway = config.sway_amplitude_m * np.sin(
+                2.0 * np.pi * config.sway_frequency_hz * time_s + phase_sway
+            )
+            breath = config.breathing_amplitude_m * np.sin(
+                2.0 * np.pi * config.breathing_frequency_hz * time_s + phase_breath
+            )
+            local = RigidTransform.from_translation([sway, breath, 0.0])
+            transforms.append(placement.compose(local))
+        return transforms
+
+    def sample_scene(
+        self,
+        activity: str,
+        distance_m: float,
+        angle_deg: float,
+        stature: float = 1.0,
+        style: TrajectoryStyle | None = None,
+    ) -> "tuple[list[TriangleMesh], list[RigidTransform]]":
+        """(subject-local posed bodies, per-frame world transforms)."""
+        model = self._human_model(stature)
+        style = style or TrajectoryStyle.random(self.rng)
+        trajectory = hand_trajectory(
+            activity,
+            self.config.num_frames,
+            style,
+            shoulder=model.right_shoulder,
+            rng=self.rng,
+        )
+        bodies = model.pose_sequence(trajectory)
+        transforms = self._frame_transforms(distance_m, angle_deg)
+        return bodies, transforms
+
+    def sample_meshes(
+        self,
+        activity: str,
+        distance_m: float,
+        angle_deg: float,
+        stature: float = 1.0,
+        style: TrajectoryStyle | None = None,
+        attachment_mesh: TriangleMesh | None = None,
+    ) -> "list[TriangleMesh]":
+        """World-frame mesh sequence for one activity execution.
+
+        ``attachment_mesh`` (subject-local, e.g. a reflector trigger from
+        :mod:`repro.attack.trigger`) rides rigidly on the torso through the
+        per-frame transforms — exactly how the paper tapes reflectors to
+        the experimenter.
+        """
+        bodies, transforms = self.sample_scene(
+            activity, distance_m, angle_deg, stature, style
+        )
+        meshes = []
+        for body, transform in zip(bodies, transforms):
+            if attachment_mesh is not None:
+                body = merge_meshes([body, attachment_mesh], name="body+trigger")
+            meshes.append(body.transformed(transform))
+        return meshes
+
+    def generate_sample(
+        self,
+        activity: str,
+        distance_m: float,
+        angle_deg: float,
+        stature: float = 1.0,
+        style: TrajectoryStyle | None = None,
+        attachment_mesh: TriangleMesh | None = None,
+        return_cubes: bool = False,
+    ) -> np.ndarray:
+        """One DRAI heatmap sequence ``(T, H, W)`` (or raw IF cubes)."""
+        meshes = self.sample_meshes(
+            activity, distance_m, angle_deg, stature, style, attachment_mesh
+        )
+        cubes = self.simulator.simulate_sequence(
+            meshes, extra_facets=self._environment_facets or None
+        )
+        cubes = add_thermal_noise(cubes, self.config.snr_db, self.rng)
+        if return_cubes:
+            return cubes
+        return drai_sequence(cubes, self.config.heatmap)
+
+    def generate_paired_sample(
+        self,
+        activity: str,
+        distance_m: float,
+        angle_deg: float,
+        attachment_mesh: TriangleMesh,
+        stature: float = 1.0,
+        style: TrajectoryStyle | None = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(clean, triggered) DRAI sequences of the *same* execution.
+
+        Both sequences share the trajectory, the environment, and the
+        thermal-noise realization; they differ only by the trigger's
+        static signal contribution — the matched pair the poisoning step
+        needs for frame replacement, and what the placement optimizer
+        diffs.
+        """
+        bodies, transforms = self.sample_scene(
+            activity, distance_m, angle_deg, stature, style
+        )
+        meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
+        clean_cubes = self.simulator.simulate_sequence(
+            meshes, extra_facets=self._environment_facets or None
+        )
+        trigger_cubes = np.stack(
+            [
+                self.simulator.frame_cube(attachment_mesh.transformed(tr))
+                for tr in transforms
+            ]
+        )
+        triggered_cubes = clean_cubes + trigger_cubes
+
+        # One shared noise realization, scaled from the clean signal power.
+        signal_power = float(np.mean(np.abs(clean_cubes) ** 2))
+        if signal_power > 0.0:
+            noise_power = signal_power / (10.0 ** (self.config.snr_db / 10.0))
+            sigma = np.sqrt(noise_power / 2.0)
+            noise = (
+                self.rng.normal(0.0, sigma, clean_cubes.shape)
+                + 1j * self.rng.normal(0.0, sigma, clean_cubes.shape)
+            ).astype(np.complex64)
+            clean_cubes = clean_cubes + noise
+            triggered_cubes = triggered_cubes + noise
+        return (
+            drai_sequence(clean_cubes, self.config.heatmap),
+            drai_sequence(triggered_cubes, self.config.heatmap),
+        )
+
+    # ------------------------------------------------------------------
+    # Dataset synthesis
+    # ------------------------------------------------------------------
+    def generate_dataset(
+        self,
+        samples_per_class: int,
+        activities: "tuple[str, ...]" = ACTIVITY_NAMES,
+        attachment_mesh: TriangleMesh | None = None,
+        attachment_name: str = "",
+        progress: bool = False,
+    ) -> HeatmapDataset:
+        """A dataset cycling positions and participants per class.
+
+        Positions follow the configured grid round-robin with random
+        order, so every class covers all distances/angles/participants as
+        in the prototype campaign.
+        """
+        if samples_per_class < 1:
+            raise ValueError("samples_per_class must be >= 1")
+        positions = [
+            (d, a) for d in self.config.distances_m for a in self.config.angles_deg
+        ]
+        xs, ys, metas = [], [], []
+        for activity in activities:
+            label = activity_label(activity)
+            order = self.rng.permutation(len(positions) * max(
+                1, -(-samples_per_class // len(positions))
+            ))
+            for i in range(samples_per_class):
+                slot = int(order[i]) % len(positions)
+                distance, angle = positions[slot]
+                participant = int(self.rng.integers(len(self.config.participants)))
+                stature = self.config.participants[participant]
+                heatmaps = self.generate_sample(
+                    activity,
+                    distance,
+                    angle,
+                    stature=stature,
+                    attachment_mesh=attachment_mesh,
+                )
+                xs.append(heatmaps.astype(np.float32))
+                ys.append(label)
+                metas.append(
+                    SampleMeta(
+                        activity=activity,
+                        distance_m=distance,
+                        angle_deg=angle,
+                        participant=participant,
+                        has_trigger=attachment_mesh is not None,
+                        trigger_attachment=attachment_name,
+                    )
+                )
+            if progress:  # pragma: no cover - console output
+                print(f"generated {samples_per_class} x {activity}")
+        return HeatmapDataset(np.stack(xs), np.asarray(ys), metas)

@@ -1,0 +1,39 @@
+"""Defenses against the physical backdoor attack (paper Section VII)."""
+
+from .augmentation import (
+    AugmentationConfig,
+    augment_training_set,
+    build_augmentation_set,
+)
+from .spectral import (
+    SpectralConfig,
+    SpectralDefense,
+    SpectralReport,
+    sample_representations,
+    spectral_scores,
+)
+from .detector import (
+    DetectionReport,
+    DetectorConfig,
+    TriggerDetector,
+    canonicalize_dataset,
+    canonicalize_sequence,
+    estimate_subject_cell,
+)
+
+__all__ = [
+    "AugmentationConfig",
+    "DetectionReport",
+    "DetectorConfig",
+    "SpectralConfig",
+    "SpectralDefense",
+    "SpectralReport",
+    "TriggerDetector",
+    "augment_training_set",
+    "build_augmentation_set",
+    "canonicalize_dataset",
+    "canonicalize_sequence",
+    "estimate_subject_cell",
+    "sample_representations",
+    "spectral_scores",
+]

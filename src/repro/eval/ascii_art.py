@@ -1,0 +1,75 @@
+"""ASCII rendering of heatmaps for terminal inspection.
+
+No plotting stack is available offline, so this renders range-angle
+heatmaps (and clean/triggered diffs — the Fig. 5 comparison) as character
+raster for quick eyeballing in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ten-step intensity ramp, dark to bright.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    heatmap: np.ndarray,
+    max_width: int = 64,
+    value_range: "tuple[float, float] | None" = None,
+) -> str:
+    """Render a 2D array as an ASCII raster (rows = range, cols = angle).
+
+    Values map linearly onto a 10-character intensity ramp; pass
+    ``value_range`` to pin the scale when comparing several renders.
+    """
+    heatmap = np.asarray(heatmap, dtype=float)
+    if heatmap.ndim != 2:
+        raise ValueError("heatmap must be 2D")
+    if heatmap.shape[1] > max_width:
+        stride = int(np.ceil(heatmap.shape[1] / max_width))
+        heatmap = heatmap[:, ::stride]
+    low, high = value_range if value_range else (float(heatmap.min()),
+                                                 float(heatmap.max()))
+    span = high - low if high > low else 1.0
+    normalized = np.clip((heatmap - low) / span, 0.0, 1.0)
+    indices = np.minimum((normalized * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def render_comparison(
+    clean: np.ndarray, triggered: np.ndarray, labels: "tuple[str, str]" = ("clean", "triggered")
+) -> str:
+    """Side-by-side render of two same-shape heatmaps plus their |diff|.
+
+    The Fig. 5 view: the trigger's blob stands out in the diff panel while
+    the two main panels look nearly identical.
+    """
+    clean = np.asarray(clean, dtype=float)
+    triggered = np.asarray(triggered, dtype=float)
+    if clean.shape != triggered.shape:
+        raise ValueError("heatmap shapes differ")
+    shared = (
+        float(min(clean.min(), triggered.min())),
+        float(max(clean.max(), triggered.max())),
+    )
+    panels = [
+        (labels[0], render_heatmap(clean, value_range=shared)),
+        (labels[1], render_heatmap(triggered, value_range=shared)),
+        ("|diff|", render_heatmap(np.abs(triggered - clean), value_range=shared)),
+    ]
+    blocks = []
+    for title, art in panels:
+        width = len(art.splitlines()[0])
+        blocks.append(f"{title:^{width}}\n{art}")
+    # Stack panels horizontally.
+    split_blocks = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split_blocks)
+    rows = []
+    for row_index in range(height):
+        cells = [
+            lines[row_index] if row_index < len(lines) else " " * len(lines[0])
+            for lines in split_blocks
+        ]
+        rows.append("  |  ".join(cells))
+    return "\n".join(rows)

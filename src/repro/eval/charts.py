@@ -1,0 +1,70 @@
+"""ASCII line charts for sweep curves.
+
+Renders ASR/UASR/CDR series the way the paper's figures plot them —
+metric vs parameter, one line per scenario/trigger — in plain text, since
+no plotting stack is available offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .experiments import SweepResult
+
+_MARKERS = "ox+*#"
+
+
+def render_series(
+    series: "dict[str, list[float]]",
+    height: int = 10,
+    y_range: "tuple[float, float]" = (0.0, 1.0),
+) -> str:
+    """Plot one or more same-length series as an ASCII chart.
+
+    Each series gets a marker; collisions show the later series' marker.
+    The y axis is labeled at the top/bottom; x positions are the sample
+    indices (callers print the parameter grid separately).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share length")
+    (num_points,) = lengths
+    if num_points < 1:
+        raise ValueError("series are empty")
+    low, high = y_range
+    if high <= low:
+        raise ValueError("empty y range")
+
+    width = max(num_points * 4 - 3, 1)
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for point_index, value in enumerate(values):
+            clipped = min(max(float(value), low), high)
+            row = int(round((high - clipped) / (high - low) * (height - 1)))
+            col = point_index * 4
+            grid[row][col] = marker
+
+    lines = [f"{high:4.2f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("     |" + "".join(row))
+    if height > 1:
+        lines.append(f"{low:4.2f} +" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def render_sweep_chart(result: SweepResult, metric: str, height: int = 10) -> str:
+    """Chart one metric of a :class:`SweepResult` across its curves."""
+    series = {name: result.series(name, metric) for name in result.curves}
+    header = (
+        f"{metric.upper()} vs {result.parameter_name} "
+        f"(x = {', '.join(f'{v:g}' for v in result.parameter_values)})"
+    )
+    return header + "\n" + render_series(series, height=height)

@@ -1,0 +1,74 @@
+"""Wavefront OBJ import/export for triangle meshes.
+
+Scene inspection aid: dump any simulated scene (body + trigger +
+environment) to an ``.obj`` any 3D viewer opens, and read simple OBJ files
+back (triangulating polygon faces fan-wise).  Reflectivity is preserved in
+a comment header on export and may be supplied on import.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .mesh import SKIN_REFLECTIVITY, TriangleMesh
+
+
+def save_obj(mesh: TriangleMesh, path: "str | os.PathLike") -> None:
+    """Write a mesh as Wavefront OBJ (1-indexed faces, CCW winding kept)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        f"# repro mesh: {mesh.name}",
+        f"# faces={mesh.num_faces} vertices={mesh.num_vertices}",
+        f"# mean_reflectivity={float(mesh.reflectivity.mean()) if mesh.num_faces else 0.0:.6f}",
+        f"o {mesh.name}",
+    ]
+    for vertex in mesh.vertices:
+        lines.append(f"v {vertex[0]:.9g} {vertex[1]:.9g} {vertex[2]:.9g}")
+    for face in mesh.faces:
+        lines.append(f"f {face[0] + 1} {face[1] + 1} {face[2] + 1}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_obj(
+    path: "str | os.PathLike",
+    reflectivity: float = SKIN_REFLECTIVITY,
+    name: str | None = None,
+) -> TriangleMesh:
+    """Read a Wavefront OBJ into a :class:`TriangleMesh`.
+
+    Supports ``v`` and ``f`` records (``f`` may carry ``v/vt/vn`` syntax
+    and polygons, which are fan-triangulated); everything else is ignored.
+    """
+    path = Path(path)
+    vertices: "list[list[float]]" = []
+    faces: "list[list[int]]" = []
+    object_name = name
+    for raw_line in path.read_text().splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "v" and len(parts) >= 4:
+            vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        elif parts[0] == "o" and len(parts) > 1 and object_name is None:
+            object_name = parts[1]
+        elif parts[0] == "f" and len(parts) >= 4:
+            indices = [int(token.split("/")[0]) for token in parts[1:]]
+            # OBJ is 1-indexed; negatives count from the end.
+            resolved = [
+                i - 1 if i > 0 else len(vertices) + i for i in indices
+            ]
+            for second, third in zip(resolved[1:-1], resolved[2:]):
+                faces.append([resolved[0], second, third])
+    if not vertices or not faces:
+        raise ValueError(f"{path} contains no usable geometry")
+    return TriangleMesh(
+        np.asarray(vertices, dtype=float),
+        np.asarray(faces, dtype=np.int64),
+        reflectivity=reflectivity,
+        name=object_name or path.stem,
+    )

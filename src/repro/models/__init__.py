@@ -1,0 +1,45 @@
+"""The mmWave HAR prototype model: CNN-LSTM classifier, trainer, metrics."""
+
+from .augmentation import (
+    AugmentationPolicy,
+    add_noise,
+    augment_batch,
+    jitter_gain,
+    shift_spatial,
+    shift_temporal,
+)
+from .cnn_lstm import CNNLSTMClassifier, FrameEncoder, ModelConfig
+from .metrics import (
+    AttackMetrics,
+    accuracy,
+    attack_success_rate,
+    clean_data_rate,
+    confusion_matrix,
+    evaluate_attack,
+    mean_attack_metrics,
+    untargeted_success_rate,
+)
+from .trainer import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "AttackMetrics",
+    "AugmentationPolicy",
+    "add_noise",
+    "augment_batch",
+    "jitter_gain",
+    "shift_spatial",
+    "shift_temporal",
+    "CNNLSTMClassifier",
+    "FrameEncoder",
+    "ModelConfig",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "accuracy",
+    "attack_success_rate",
+    "clean_data_rate",
+    "confusion_matrix",
+    "evaluate_attack",
+    "mean_attack_metrics",
+    "untargeted_success_rate",
+]

@@ -1,0 +1,105 @@
+"""Training-time heatmap augmentations.
+
+Standard robustness tricks for radar heatmap sequences: additive noise,
+per-sample gain jitter, small range/angle shifts (the subject standing a
+few centimeters off), and temporal jitter (gesture phase).  All operate on
+``(N, T, H, W)`` arrays and are label-preserving; the defense pipeline and
+the plain trainer can both use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AugmentationPolicy:
+    """Which augmentations to apply, and how strongly.
+
+    Each field is a maximum magnitude; per-sample values are drawn
+    uniformly.  Zero disables that augmentation.
+    """
+
+    noise_std: float = 0.01
+    gain_jitter: float = 0.1
+    max_range_shift: int = 1
+    max_angle_shift: int = 1
+    max_time_shift: int = 1
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0 or self.gain_jitter < 0:
+            raise ValueError("magnitudes must be non-negative")
+        if min(self.max_range_shift, self.max_angle_shift, self.max_time_shift) < 0:
+            raise ValueError("shifts must be non-negative")
+
+
+def add_noise(x: np.ndarray, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive Gaussian noise, clipped back into [0, 1]."""
+    if std == 0.0:
+        return x.copy()
+    noisy = x + rng.normal(0.0, std, x.shape).astype(x.dtype)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def jitter_gain(x: np.ndarray, magnitude: float, rng: np.random.Generator) -> np.ndarray:
+    """Per-sample multiplicative gain in [1 - m, 1 + m], clipped to [0, 1]."""
+    if magnitude == 0.0:
+        return x.copy()
+    gains = rng.uniform(1.0 - magnitude, 1.0 + magnitude, size=(len(x), 1, 1, 1))
+    return np.clip(x * gains.astype(x.dtype), 0.0, 1.0)
+
+
+def shift_spatial(
+    x: np.ndarray,
+    max_range_shift: int,
+    max_angle_shift: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-sample integer rolls along range/angle (subject displacement)."""
+    out = x.copy()
+    for index in range(len(x)):
+        dr = int(rng.integers(-max_range_shift, max_range_shift + 1))
+        da = int(rng.integers(-max_angle_shift, max_angle_shift + 1))
+        if dr:
+            out[index] = np.roll(out[index], dr, axis=1)
+        if da:
+            out[index] = np.roll(out[index], da, axis=2)
+    return out
+
+
+def shift_temporal(
+    x: np.ndarray, max_shift: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-sample frame shift with edge replication (gesture phase jitter)."""
+    if max_shift == 0:
+        return x.copy()
+    out = np.empty_like(x)
+    num_frames = x.shape[1]
+    for index in range(len(x)):
+        dt = int(rng.integers(-max_shift, max_shift + 1))
+        if dt == 0:
+            out[index] = x[index]
+        elif dt > 0:
+            out[index, dt:] = x[index, : num_frames - dt]
+            out[index, :dt] = x[index, 0]
+        else:
+            out[index, :dt] = x[index, -dt:]
+            out[index, dt:] = x[index, -1]
+    return out
+
+
+def augment_batch(
+    x: np.ndarray,
+    policy: AugmentationPolicy,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply the full policy to an ``(N, T, H, W)`` batch."""
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError("expected (N, T, H, W) batch")
+    out = shift_temporal(x, policy.max_time_shift, rng)
+    out = shift_spatial(out, policy.max_range_shift, policy.max_angle_shift, rng)
+    out = jitter_gain(out, policy.gain_jitter, rng)
+    return add_noise(out, policy.noise_std, rng)

@@ -1,0 +1,190 @@
+"""Training loop for the CNN-LSTM prototype.
+
+Mirrors the paper's training protocol at reduced scale: Adam, gradient
+clipping, a held-out validation set to pick the best epoch (the paper
+"include[s] a validation set" to damp training fluctuation), and seeded
+shuffling for reproducible repetitions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy
+from .augmentation import AugmentationPolicy, augment_batch
+from .cnn_lstm import CNNLSTMClassifier
+from .metrics import accuracy
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    weight_decay: float = 1e-5
+    clip_norm: float = 5.0
+    validation_fraction: float = 0.15
+    patience: int = 6
+    seed: int = 0
+    verbose: bool = False
+    #: Optional per-batch heatmap augmentation (label preserving); None
+    #: disables it.  Used by the hardening experiments.
+    augmentation: "AugmentationPolicy | None" = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch curves plus the restored-best summary."""
+
+    train_loss: "list[float]" = field(default_factory=list)
+    train_accuracy: "list[float]" = field(default_factory=list)
+    val_loss: "list[float]" = field(default_factory=list)
+    val_accuracy: "list[float]" = field(default_factory=list)
+    best_epoch: int = -1
+    wall_time_s: float = 0.0
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Fits a :class:`CNNLSTMClassifier` on heatmap sequences."""
+
+    def __init__(self, config: TrainingConfig | None = None):
+        self.config = config or TrainingConfig()
+
+    def _split_validation(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        fraction = self.config.validation_fraction
+        if fraction <= 0.0 or len(x) < 8:
+            return x, y, x[:0], y[:0]
+        order = rng.permutation(len(x))
+        num_val = max(1, int(round(len(x) * fraction)))
+        val_idx, train_idx = order[:num_val], order[num_val:]
+        return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+    def fit(
+        self,
+        model: CNNLSTMClassifier,
+        x: np.ndarray,
+        y: np.ndarray,
+        validation: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> TrainingHistory:
+        """Train in place; restores the best-validation-loss weights.
+
+        Parameters
+        ----------
+        x, y:
+            ``(N, T, H, W)`` heatmap sequences and ``(N,)`` integer labels.
+        validation:
+            Optional explicit validation split; otherwise
+            ``validation_fraction`` of the training data is held out.
+        """
+        x = np.asarray(x, dtype=model.dtype)
+        y = np.asarray(y, dtype=int)
+        if len(x) != len(y):
+            raise ValueError("x and y lengths differ")
+        if len(x) == 0:
+            raise ValueError("empty training set")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        if validation is None:
+            train_x, train_y, val_x, val_y = self._split_validation(x, y, rng)
+        else:
+            train_x, train_y = x, y
+            val_x, val_y = np.asarray(validation[0], dtype=model.dtype), np.asarray(
+                validation[1], dtype=int
+            )
+
+        optimizer = Adam(
+            model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        history = TrainingHistory()
+        best_state = model.state_dict()
+        best_val = np.inf
+        stale_epochs = 0
+        start = time.perf_counter()
+
+        for epoch in range(config.epochs):
+            model.train()
+            order = rng.permutation(len(train_x))
+            epoch_loss = 0.0
+            epoch_correct = 0
+            for begin in range(0, len(order), config.batch_size):
+                batch_idx = order[begin : begin + config.batch_size]
+                batch_data = train_x[batch_idx]
+                if config.augmentation is not None:
+                    batch_data = augment_batch(
+                        batch_data, config.augmentation, rng
+                    ).astype(train_x.dtype)
+                batch_x = Tensor(batch_data)
+                batch_y = train_y[batch_idx]
+                logits = model(batch_x)
+                loss = cross_entropy(logits, batch_y)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(model.parameters(), config.clip_norm)
+                optimizer.step()
+                epoch_loss += loss.item() * len(batch_idx)
+                epoch_correct += int((logits.data.argmax(axis=1) == batch_y).sum())
+            history.train_loss.append(epoch_loss / len(train_x))
+            history.train_accuracy.append(epoch_correct / len(train_x))
+
+            if len(val_x):
+                val_loss, val_acc = self.evaluate(model, val_x, val_y)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                monitored = val_loss
+            else:
+                monitored = history.train_loss[-1]
+
+            if monitored < best_val - 1e-6:
+                best_val = monitored
+                best_state = model.state_dict()
+                history.best_epoch = epoch
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+            if config.verbose:  # pragma: no cover - console output
+                val_msg = (
+                    f" val_loss={history.val_loss[-1]:.4f}"
+                    f" val_acc={history.val_accuracy[-1]:.3f}"
+                    if len(val_x)
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{config.epochs}"
+                    f" loss={history.train_loss[-1]:.4f}"
+                    f" acc={history.train_accuracy[-1]:.3f}{val_msg}"
+                )
+            if stale_epochs > config.patience:
+                break
+
+        model.load_state_dict(best_state)
+        history.wall_time_s = time.perf_counter() - start
+        return history
+
+    def evaluate(
+        self, model: CNNLSTMClassifier, x: np.ndarray, y: np.ndarray
+    ) -> "tuple[float, float]":
+        """(mean loss, accuracy) on a labeled set, eval mode."""
+        x = np.asarray(x, dtype=model.dtype)
+        y = np.asarray(y, dtype=int)
+        model.eval()
+        total_loss = 0.0
+        predictions = []
+        for begin in range(0, len(x), self.config.batch_size):
+            batch_x = Tensor(x[begin : begin + self.config.batch_size])
+            batch_y = y[begin : begin + self.config.batch_size]
+            logits = model(batch_x)
+            total_loss += cross_entropy(logits, batch_y).item() * len(batch_y)
+            predictions.append(logits.data.argmax(axis=1))
+        predictions_arr = np.concatenate(predictions)
+        return total_loss / len(x), accuracy(predictions_arr, y)

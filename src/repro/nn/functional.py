@@ -1,0 +1,184 @@
+"""Structured differentiable ops: convolution, pooling, dropout, losses.
+
+These complement the elementwise/linear-algebra primitives on
+:class:`~repro.nn.tensor.Tensor` with the image ops the frame CNN needs.
+Convolution uses an ``as_strided`` im2col with a ``np.add.at`` col2im
+backward — the standard NumPy formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+
+def _im2col(
+    data: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Expand ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` patches."""
+    n, c, h, w = data.shape
+    kh, kw = kernel
+    if padding:
+        data = np.pad(data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        h += 2 * padding
+        w += 2 * padding
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    sn, sc, sh, sw = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+    out_size: tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add column gradients back into the input layout."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h, out_w = out_size
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    reshaped = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                reshaped[:, :, i, j]
+            )
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, padding: int = 0
+) -> Tensor:
+    """2D cross-correlation: ``(N, C, H, W) * (F, C, kh, kw) -> (N, F, H', W')``."""
+    n = x.shape[0]
+    f, c, kh, kw = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c}")
+    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(f, -1)
+    out_data = np.einsum("fk,nkp->nfp", w_mat, cols).reshape(n, f, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, f, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("nfp,nkp->fk", grad_mat, cols).reshape(weight.shape)
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("fk,nfp->nkp", w_mat, grad_mat)
+            x._accumulate(
+                _col2im(grad_cols, x.shape, (kh, kw), stride, padding, (out_h, out_w))
+            )
+
+    return Tensor(out_data, _parents=parents, _backward=backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling with square window; requires H, W divisible by the window."""
+    stride = stride or kernel
+    if stride != kernel:
+        raise NotImplementedError("only stride == kernel pooling is supported")
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims ({h}, {w}) not divisible by pool size {kernel}")
+    out_h, out_w = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, out_h, out_w, kernel * kernel)
+    arg = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_windows = np.zeros_like(windows)
+        np.put_along_axis(grad_windows, arg[..., None], grad[..., None], axis=-1)
+        grad_x = (
+            grad_windows.reshape(n, c, out_h, out_w, kernel, kernel)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h, w)
+        )
+        x._accumulate(grad_x)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: active only in training mode."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        logits._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor(out_data, _parents=(logits,), _backward=backward)
+
+
+def softmax(logits: np.ndarray | Tensor, axis: int = -1) -> np.ndarray:
+    """Plain (non-differentiable) softmax for inference-side post-processing."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    shifted = data - data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy for ``(N, C)`` logits and ``(N,)`` int labels."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (N, C)")
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels must be ({n},), got {labels.shape}")
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for ``(N, in)`` inputs."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = prediction - target_tensor
+    return (diff * diff).mean()

@@ -1,0 +1,38 @@
+"""Weight initializers (Kaiming / Xavier / orthogonal)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-uniform initialization suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform initialization suited to tanh/sigmoid layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fans must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization, standard for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init needs a 2D shape")
+    rows, cols = shape
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

@@ -1,0 +1,90 @@
+"""Learning-rate schedules.
+
+Plain callables mapping ``epoch -> multiplier`` applied on top of an
+optimizer's base rate; :class:`ScheduledOptimizer` wraps any optimizer and
+updates its ``lr`` at epoch boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .optim import Optimizer
+
+Schedule = Callable[[int], float]
+
+
+def constant_schedule() -> Schedule:
+    """Multiplier 1.0 forever."""
+    return lambda epoch: 1.0
+
+
+def step_decay(step_size: int, gamma: float = 0.5) -> Schedule:
+    """Multiply by ``gamma`` every ``step_size`` epochs."""
+    if step_size < 1:
+        raise ValueError("step_size must be >= 1")
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    return lambda epoch: gamma ** (epoch // step_size)
+
+
+def cosine_decay(total_epochs: int, floor: float = 0.05) -> Schedule:
+    """Cosine annealing from 1.0 down to ``floor`` over ``total_epochs``."""
+    if total_epochs < 1:
+        raise ValueError("total_epochs must be >= 1")
+    if not 0.0 <= floor <= 1.0:
+        raise ValueError("floor must be in [0, 1]")
+
+    def schedule(epoch: int) -> float:
+        progress = min(epoch / total_epochs, 1.0)
+        return floor + (1.0 - floor) * 0.5 * (1.0 + math.cos(math.pi * progress))
+
+    return schedule
+
+
+def warmup(base: Schedule, warmup_epochs: int) -> Schedule:
+    """Linear ramp from ~0 to the base schedule over ``warmup_epochs``."""
+    if warmup_epochs < 0:
+        raise ValueError("warmup_epochs must be >= 0")
+
+    def schedule(epoch: int) -> float:
+        if warmup_epochs and epoch < warmup_epochs:
+            return base(epoch) * (epoch + 1) / warmup_epochs
+        return base(epoch)
+
+    return schedule
+
+
+class ScheduledOptimizer:
+    """Applies an epoch schedule to a wrapped optimizer's learning rate.
+
+    Use as a drop-in: call :meth:`step`/:meth:`zero_grad` per batch and
+    :meth:`advance_epoch` once per epoch.
+    """
+
+    def __init__(self, optimizer: Optimizer, schedule: Schedule):
+        if not hasattr(optimizer, "lr"):
+            raise TypeError("optimizer must expose an 'lr' attribute")
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+        self._apply()
+
+    def _apply(self) -> None:
+        self.optimizer.lr = self.base_lr * self.schedule(self.epoch)
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+    def advance_epoch(self) -> None:
+        self.epoch += 1
+        self._apply()
+
+    def step(self) -> None:
+        self.optimizer.step()
+
+    def zero_grad(self) -> None:
+        self.optimizer.zero_grad()

@@ -1,0 +1,23 @@
+"""Model checkpoint save/load as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's ``state_dict`` to an ``.npz`` file."""
+    state = module.state_dict()
+    # npz keys cannot contain '/' reliably across loaders; '.' is fine.
+    np.savez_compressed(os.fspath(path), **state)
+
+
+def load_checkpoint(module: Module, path: str | os.PathLike) -> None:
+    """Load a checkpoint written by :func:`save_checkpoint` into ``module``."""
+    with np.load(os.fspath(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,68 @@
+"""Radar substrate: FMCW waveforms, the Eq. 3 IF simulator, and heatmaps.
+
+This package replaces the paper's physical TI MMWCAS-RF-EVM testbed with
+the RF simulator the paper itself uses inside its attack loop (Section V-B,
+VI-D), plus the prototype's signal-processing chain (Section II-A).
+"""
+
+from .antenna import AntennaArray
+from .chirp import SPEED_OF_LIGHT, ChirpConfig
+from .heatmap import (
+    DEFAULT_HEATMAP_CONFIG,
+    HeatmapConfig,
+    drai_frame,
+    drai_sequence,
+    heatmap_deviation,
+    rdi_frame,
+    rdi_sequence,
+)
+from .noise import add_thermal_noise, random_environment
+from .pointcloud import (
+    CfarConfig,
+    RadarPointCloud,
+    ca_cfar_2d,
+    extract_pointcloud,
+    pointcloud_sequence,
+)
+from .processing import (
+    angle_axis_degrees,
+    angle_fft,
+    doppler_fft,
+    hann_window,
+    integrate_chirps,
+    log_compress,
+    mti_filter,
+    range_fft,
+)
+from .simulator import FacetSet, FmcwRadarSimulator, RadarConfig
+
+__all__ = [
+    "AntennaArray",
+    "CfarConfig",
+    "ChirpConfig",
+    "DEFAULT_HEATMAP_CONFIG",
+    "FacetSet",
+    "FmcwRadarSimulator",
+    "HeatmapConfig",
+    "RadarConfig",
+    "RadarPointCloud",
+    "SPEED_OF_LIGHT",
+    "add_thermal_noise",
+    "angle_axis_degrees",
+    "ca_cfar_2d",
+    "angle_fft",
+    "doppler_fft",
+    "drai_frame",
+    "drai_sequence",
+    "extract_pointcloud",
+    "hann_window",
+    "heatmap_deviation",
+    "integrate_chirps",
+    "log_compress",
+    "mti_filter",
+    "pointcloud_sequence",
+    "random_environment",
+    "range_fft",
+    "rdi_frame",
+    "rdi_sequence",
+]

@@ -1,0 +1,91 @@
+"""TX/RX antenna geometry and the MIMO virtual array.
+
+The prototype radar cascades four AWR2243 chips into up to 86 virtual
+antennas.  We model the standard time-division MIMO construction: ``n_tx``
+transmitters spaced ``n_rx * lambda/2`` apart and ``n_rx`` receivers spaced
+``lambda/2`` apart combine into a uniform linear virtual array of
+``n_tx * n_rx`` elements at half-wavelength pitch, which is what the
+Angle-FFT operates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AntennaArray:
+    """A horizontal (x-axis) MIMO antenna array centered at the origin.
+
+    Attributes
+    ----------
+    num_tx, num_rx:
+        Physical transmitter / receiver counts.  The virtual array has
+        ``num_tx * num_rx`` elements.
+    wavelength_m:
+        Carrier wavelength; element pitch is half this.
+    height_m:
+        Mounting height offset applied to every element (z coordinate).
+        Zero keeps the array on the boresight plane used by the subject
+        coordinate convention.
+    """
+
+    num_tx: int = 4
+    num_rx: int = 4
+    wavelength_m: float = 299_792_458.0 / 77.0e9
+    height_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_tx < 1 or self.num_rx < 1:
+            raise ValueError("need at least one TX and one RX antenna")
+        if self.wavelength_m <= 0:
+            raise ValueError("wavelength must be positive")
+
+    @property
+    def num_virtual(self) -> int:
+        return self.num_tx * self.num_rx
+
+    @property
+    def element_spacing_m(self) -> float:
+        return self.wavelength_m / 2.0
+
+    def tx_positions(self) -> np.ndarray:
+        """``(num_tx, 3)`` transmitter positions."""
+        pitch = self.num_rx * self.element_spacing_m
+        offsets = (np.arange(self.num_tx) - (self.num_tx - 1) / 2.0) * pitch
+        positions = np.zeros((self.num_tx, 3))
+        positions[:, 0] = offsets
+        positions[:, 2] = self.height_m
+        return positions
+
+    def rx_positions(self) -> np.ndarray:
+        """``(num_rx, 3)`` receiver positions."""
+        offsets = (np.arange(self.num_rx) - (self.num_rx - 1) / 2.0) * self.element_spacing_m
+        positions = np.zeros((self.num_rx, 3))
+        positions[:, 0] = offsets
+        positions[:, 2] = self.height_m
+        return positions
+
+    def virtual_positions(self) -> np.ndarray:
+        """``(num_virtual, 3)`` virtual element positions (TX + RX sums / 2).
+
+        A virtual element for pair ``(t, r)`` behaves like a monostatic
+        element at the midpoint of the TX and RX positions; for the standard
+        spacing above, these midpoints form a half-wavelength ULA.
+        """
+        tx = self.tx_positions()
+        rx = self.rx_positions()
+        virtual = (tx[:, None, :] + rx[None, :, :]) / 2.0
+        return virtual.reshape(-1, 3)
+
+    def pair_index(self, tx: int, rx: int) -> int:
+        """Flat virtual-channel index of TX ``tx`` paired with RX ``rx``."""
+        if not (0 <= tx < self.num_tx and 0 <= rx < self.num_rx):
+            raise IndexError("antenna index out of range")
+        return tx * self.num_rx + rx
+
+    def phase_center(self) -> np.ndarray:
+        """Geometric center of the array (the nominal radar position)."""
+        return np.array([0.0, 0.0, self.height_m])

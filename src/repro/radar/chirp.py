@@ -1,0 +1,106 @@
+"""FMCW chirp waveform configuration.
+
+Models the frequency-modulated continuous wave (FMCW) chirps the prototype
+radar (TI MMWCAS-RF-EVM, 76-81 GHz) emits.  The quantities here determine
+the mapping from scene geometry to IF-signal beat frequencies and hence the
+range/Doppler/angle axes of the heatmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Speed of light in m/s (``c`` in the paper's Eq. 3).
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class ChirpConfig:
+    """Parameters of one FMCW chirp frame.
+
+    Defaults are chosen to mimic the paper's 77-GHz automotive-band radar at
+    a scale where the hand-gesture scene (0.8 - 2 m) fills the range axis.
+
+    Attributes
+    ----------
+    start_frequency_hz:
+        Carrier frequency at the start of the chirp ramp (``f0``).
+    bandwidth_hz:
+        Swept bandwidth ``B``; range resolution is ``c / (2 B)``.
+    ramp_duration_s:
+        Active ADC-sampling portion of the ramp.
+    num_adc_samples:
+        Samples per chirp (fast-time length, range-FFT input size).
+    num_chirps:
+        Chirps per frame (slow-time length, Doppler-FFT input size).
+    chirp_repetition_s:
+        Chirp-to-chirp period; sets the unambiguous Doppler span.
+    frame_period_s:
+        Frame-to-frame period; with 32 frames per activity this spans the
+        ~1.6 s gesture duration used by the prototype.
+    """
+
+    start_frequency_hz: float = 77.0e9
+    bandwidth_hz: float = 3.84e9
+    ramp_duration_s: float = 20.0e-6
+    num_adc_samples: int = 64
+    num_chirps: int = 16
+    chirp_repetition_s: float = 250.0e-6
+    frame_period_s: float = 50.0e-3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0 or self.ramp_duration_s <= 0:
+            raise ValueError("bandwidth and ramp duration must be positive")
+        if self.num_adc_samples < 2 or self.num_chirps < 1:
+            raise ValueError("need >= 2 ADC samples and >= 1 chirp")
+        if self.chirp_repetition_s < self.ramp_duration_s:
+            raise ValueError("chirp repetition period shorter than the ramp itself")
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Chirp slope ``gamma = B / T_ramp`` (Hz/s), Eq. 3's phase coefficient."""
+        return self.bandwidth_hz / self.ramp_duration_s
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Complex ADC sample rate implied by samples-per-ramp."""
+        return self.num_adc_samples / self.ramp_duration_s
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength at the ramp start frequency."""
+        return SPEED_OF_LIGHT / self.start_frequency_hz
+
+    @property
+    def range_resolution_m(self) -> float:
+        """Range bin size ``c / (2 B)``."""
+        return SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+
+    @property
+    def max_range_m(self) -> float:
+        """Unambiguous range: ``num_adc_samples`` bins of ``range_resolution``."""
+        return self.num_adc_samples * self.range_resolution_m
+
+    @property
+    def doppler_resolution_mps(self) -> float:
+        """Velocity bin size ``lambda / (2 N_c T_c)``."""
+        return self.wavelength_m / (2.0 * self.num_chirps * self.chirp_repetition_s)
+
+    @property
+    def max_velocity_mps(self) -> float:
+        """Unambiguous +/- velocity span ``lambda / (4 T_c)``."""
+        return self.wavelength_m / (4.0 * self.chirp_repetition_s)
+
+    def fast_time_axis(self) -> "np.ndarray":
+        """``(num_adc_samples,)`` sample times within one ramp, seconds."""
+        import numpy as np
+
+        return np.arange(self.num_adc_samples) / self.sample_rate_hz
+
+    def beat_frequency_for_range(self, range_m: float) -> float:
+        """IF beat frequency of a static scatterer at round-trip range ``2 R``."""
+        return self.slope_hz_per_s * 2.0 * range_m / SPEED_OF_LIGHT
+
+    def range_bin_for(self, range_m: float) -> int:
+        """Range-FFT bin index a scatterer at ``range_m`` lands in."""
+        return int(round(range_m / self.range_resolution_m))

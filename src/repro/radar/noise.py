@@ -1,0 +1,69 @@
+"""Receiver noise and static environment clutter.
+
+The prototype's IF signals include thermal receiver noise and returns from
+static furniture (chairs, tables, walls in the dormitory hallway / classroom
+environments).  Both are modeled here; clutter facets feed the simulator as
+extra static :class:`~repro.radar.simulator.FacetSet` contributions, while
+thermal noise is added directly on the IF cubes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.mesh import CLUTTER_REFLECTIVITY, TriangleMesh, merge_meshes
+from ..geometry.primitives import box
+from ..geometry.transforms import RigidTransform, rotation_z
+
+
+def add_thermal_noise(
+    cube: np.ndarray, snr_db: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Add complex AWGN at the given SNR relative to the signal RMS.
+
+    ``cube`` may be a single frame ``(N_s, N_c, K)`` or a sequence
+    ``(T, N_s, N_c, K)``; noise power is referenced to the whole array's
+    mean signal power so quiet frames stay quiet.
+    """
+    cube = np.asarray(cube)
+    signal_power = float(np.mean(np.abs(cube) ** 2))
+    if signal_power == 0.0:
+        return cube.copy()
+    noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    sigma = np.sqrt(noise_power / 2.0)
+    noise = rng.normal(0.0, sigma, cube.shape) + 1j * rng.normal(0.0, sigma, cube.shape)
+    return cube + noise.astype(np.complex64)
+
+
+def random_environment(
+    rng: np.random.Generator,
+    num_objects: int = 3,
+    span_x: "tuple[float, float]" = (-2.0, 2.0),
+    span_y: "tuple[float, float]" = (1.5, 4.0),
+) -> TriangleMesh:
+    """Static clutter: a few furniture-sized boxes scattered in the room.
+
+    The returned mesh is static across a sample's frames, so after MTI
+    clutter removal it mostly vanishes from DRAI heatmaps — exactly the
+    role the hallway furniture plays for the real prototype.
+    """
+    if num_objects < 1:
+        raise ValueError("need at least one clutter object")
+    objects = []
+    for index in range(num_objects):
+        size = (
+            float(rng.uniform(0.3, 0.8)),
+            float(rng.uniform(0.2, 0.5)),
+            float(rng.uniform(0.4, 1.0)),
+        )
+        obj = box(size, reflectivity=CLUTTER_REFLECTIVITY, name=f"clutter_{index}")
+        yaw = float(rng.uniform(0.0, 2.0 * np.pi))
+        position = np.array(
+            [
+                rng.uniform(*span_x),
+                rng.uniform(*span_y),
+                rng.uniform(-0.6, 0.2),
+            ]
+        )
+        objects.append(obj.transformed(RigidTransform(rotation_z(yaw), position)))
+    return merge_meshes(objects, name="environment")

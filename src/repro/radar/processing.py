@@ -1,0 +1,97 @@
+"""Radar signal-processing chain: Range-FFT, Doppler-FFT, Angle-FFT, MTI.
+
+Implements the prototype's pipeline (paper Section II-A): IF cubes are
+turned into Range-Doppler Images (RDI) via Range- and Doppler-FFTs, and into
+Dynamic Range-Angle Images (DRAI) via Range-FFT, clutter removal and a
+zero-padded Angle-FFT over the virtual array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic Hann window (matches ``scipy.signal.windows.hann(sym=False)``)."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / length)
+
+
+def range_fft(cube: np.ndarray, window: bool = True) -> np.ndarray:
+    """Range-FFT over fast time (axis 0 of an ``(N_s, N_c, K)`` cube).
+
+    Returns a same-shaped complex array whose axis 0 is now range bins.
+    The IF phase convention (``exp(-j 2 pi f_b t)``) puts positive beat
+    frequencies in the *upper* FFT bins, so we conjugate first to keep the
+    natural "bin index = range" layout.
+    """
+    cube = np.asarray(cube)
+    if window:
+        w = hann_window(cube.shape[0])
+        cube = cube * w.reshape((-1,) + (1,) * (cube.ndim - 1))
+    return np.fft.fft(np.conj(cube), axis=0)
+
+
+def doppler_fft(range_profile: np.ndarray, window: bool = True) -> np.ndarray:
+    """Doppler-FFT over slow time (axis 1), fftshifted to center zero Doppler."""
+    data = np.asarray(range_profile)
+    if window:
+        w = hann_window(data.shape[1])
+        data = data * w.reshape((1, -1) + (1,) * (data.ndim - 2))
+    spectrum = np.fft.fft(data, axis=1)
+    return np.fft.fftshift(spectrum, axes=1)
+
+
+def mti_filter(range_profile: np.ndarray) -> np.ndarray:
+    """Moving-target indication: remove the per-(range, channel) DC over chirps.
+
+    Static clutter produces an identical return on every chirp of a frame;
+    subtracting the slow-time mean suppresses it while moving scatterers
+    (whose chirp-to-chirp carrier phase advances) survive.  This is the
+    "remove clutters" step that makes DRAI sequences *dynamic*.
+    """
+    data = np.asarray(range_profile)
+    return data - data.mean(axis=1, keepdims=True)
+
+
+def angle_fft(data: np.ndarray, num_bins: int, window: bool = False) -> np.ndarray:
+    """Angle-FFT over the virtual-antenna axis (last axis), zero padded.
+
+    Returns an fftshifted spectrum so bin ``num_bins // 2`` is boresight
+    and lower bins are negative azimuth (radar's left).
+    """
+    data = np.asarray(data)
+    num_channels = data.shape[-1]
+    if num_bins < num_channels:
+        raise ValueError("num_bins must be >= number of virtual channels")
+    if window:
+        w = hann_window(num_channels)
+        data = data * w
+    spectrum = np.fft.fft(data, n=num_bins, axis=-1)
+    return np.fft.fftshift(spectrum, axes=-1)
+
+
+def angle_axis_degrees(num_bins: int) -> np.ndarray:
+    """Azimuth (degrees) of each fftshifted angle bin for a lambda/2 array.
+
+    Bin spatial frequency ``u`` in [-1, 1) maps to ``asin(u)``; the sign
+    convention matches the scene frame where +x (positive u) is the
+    radar's right... measured as a *negative* arrival phase gradient, so
+    positive bins correspond to targets at positive x.
+    """
+    u = np.fft.fftshift(np.fft.fftfreq(num_bins)) * 2.0
+    return np.degrees(np.arcsin(np.clip(u, -1.0, 1.0)))
+
+
+def integrate_chirps(data: np.ndarray) -> np.ndarray:
+    """Non-coherent integration: mean magnitude over the chirp axis (1)."""
+    return np.abs(np.asarray(data)).mean(axis=1)
+
+
+def log_compress(magnitude: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """``log1p`` dynamic-range compression used before normalization."""
+    return np.log1p(scale * np.asarray(magnitude))

@@ -1,0 +1,20 @@
+"""Explainable-AI substrate: SHAP frame attribution (paper Eq. 1, Fig. 3)."""
+
+from .frame_importance import (
+    FrameImportanceAnalyzer,
+    FrameImportanceResult,
+    top_k_frames,
+)
+from .occlusion import occlusion_importance, occlusion_shap_agreement
+from .shap import KernelShapExplainer, PermutationShapExplainer, ShapConfig
+
+__all__ = [
+    "FrameImportanceAnalyzer",
+    "FrameImportanceResult",
+    "KernelShapExplainer",
+    "PermutationShapExplainer",
+    "ShapConfig",
+    "occlusion_importance",
+    "occlusion_shap_agreement",
+    "top_k_frames",
+]

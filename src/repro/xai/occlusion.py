@@ -1,0 +1,65 @@
+"""Leave-one-out occlusion: the cheap frame-importance baseline.
+
+Shapley values (Eq. 1) average a frame's marginal contribution over *all*
+coalitions; occlusion importance evaluates only the full coalition minus
+one frame — ``M + 1`` model calls instead of hundreds.  It ignores frame
+interactions (two redundant frames both score ~0 under occlusion but split
+credit under Shapley), which is exactly why the paper reaches for SHAP;
+this module exists to make that comparison concrete and as a fast fallback
+when the attacker's model-query budget is tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.cnn_lstm import CNNLSTMClassifier
+
+
+def occlusion_importance(
+    model: CNNLSTMClassifier,
+    features: np.ndarray,
+    class_index: int | None = None,
+    baseline: str = "zeros",
+) -> np.ndarray:
+    """``(M,)`` drop in the class logit when each frame is occluded.
+
+    Positive values mean the frame supports the prediction (removing it
+    lowers the logit) — the same sign convention as the SHAP explainers.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"features must be (M, D), got {features.shape}")
+    if baseline not in ("zeros", "mean"):
+        raise ValueError("baseline must be 'zeros' or 'mean'")
+    num_frames = features.shape[0]
+    if class_index is None:
+        logits = model.classify_feature_series(features[None])[0]
+        class_index = int(np.argmax(logits))
+
+    if baseline == "zeros":
+        fill = np.zeros(features.shape[1])
+    else:
+        fill = features.mean(axis=0)
+
+    # One batch: the original series plus M occluded variants.
+    batch = np.repeat(features[None], num_frames + 1, axis=0)
+    for frame in range(num_frames):
+        batch[frame + 1, frame] = fill
+    logits = model.classify_feature_series(batch)[:, class_index]
+    return logits[0] - logits[1:]
+
+
+def occlusion_shap_agreement(
+    occlusion_values: np.ndarray, shap_values: np.ndarray, k: int
+) -> float:
+    """Top-k overlap between occlusion and Shapley rankings in [0, 1]."""
+    occlusion_values = np.asarray(occlusion_values)
+    shap_values = np.asarray(shap_values)
+    if occlusion_values.shape != shap_values.shape:
+        raise ValueError("value arrays must share shape")
+    if not 1 <= k <= len(shap_values):
+        raise ValueError("k out of range")
+    top_occlusion = set(np.argsort(occlusion_values)[::-1][:k].tolist())
+    top_shap = set(np.argsort(shap_values)[::-1][:k].tolist())
+    return len(top_occlusion & top_shap) / k

@@ -1,0 +1,218 @@
+"""Shapley-value frame attribution for the CNN-LSTM (paper Eq. 1).
+
+The attacker scores each of the ``M`` heatmap frames by its Shapley value
+under the LSTM temporal head: how much does including frame ``i``'s CNN
+feature change the model output, averaged over all coalitions of the other
+frames (Eq. 1).  Exact evaluation is exponential in ``M``, so two standard
+estimators are provided:
+
+* :class:`KernelShapExplainer` — Lundberg & Lee's KernelSHAP: sample
+  coalitions, weight them with the Shapley kernel, and solve a constrained
+  weighted least squares whose coefficients are the Shapley values.
+* :class:`PermutationShapExplainer` — Monte-Carlo over random frame
+  permutations, averaging marginal contributions.
+
+"Removing" a frame replaces its feature vector with a baseline (zeros or a
+background average), the standard masking semantics for sequence models.
+Both estimators satisfy (approximately) the efficiency axiom: values sum
+to ``f(all frames) - f(no frames)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.cnn_lstm import CNNLSTMClassifier
+
+
+@dataclass(frozen=True)
+class ShapConfig:
+    """Estimator settings.
+
+    Attributes
+    ----------
+    num_samples:
+        Coalition count (KernelSHAP) or permutation count x M marginal
+        evaluations (permutation estimator).
+    baseline:
+        "zeros" masks removed frames with zero features; "mean" uses the
+        mean frame feature of the explained sample (keeps the masked input
+        in-distribution).
+    batch_size:
+        Masked feature series evaluated per model call.
+    """
+
+    num_samples: int = 256
+    baseline: str = "zeros"
+    batch_size: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 8:
+            raise ValueError("need at least 8 samples for a usable estimate")
+        if self.baseline not in ("zeros", "mean"):
+            raise ValueError("baseline must be 'zeros' or 'mean'")
+
+
+class _FrameValueFunction:
+    """The coalition value ``v(S)`` = model logit with frames outside S masked."""
+
+    def __init__(
+        self,
+        model: CNNLSTMClassifier,
+        features: np.ndarray,
+        class_index: int,
+        baseline: str,
+        batch_size: int,
+    ):
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be (T, D), got {features.shape}")
+        self.model = model
+        self.features = features
+        self.class_index = class_index
+        self.batch_size = batch_size
+        if baseline == "zeros":
+            self.baseline_features = np.zeros_like(features)
+        else:
+            self.baseline_features = np.broadcast_to(
+                features.mean(axis=0, keepdims=True), features.shape
+            ).copy()
+
+    @property
+    def num_frames(self) -> int:
+        return self.features.shape[0]
+
+    def __call__(self, masks: np.ndarray) -> np.ndarray:
+        """Evaluate ``v`` for a batch of boolean masks ``(B, M)``."""
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim == 1:
+            masks = masks[None]
+        outputs = []
+        for start in range(0, len(masks), self.batch_size):
+            chunk = masks[start : start + self.batch_size]
+            batch = np.where(
+                chunk[:, :, None], self.features[None], self.baseline_features[None]
+            )
+            logits = self.model.classify_feature_series(batch)
+            outputs.append(logits[:, self.class_index])
+        return np.concatenate(outputs)
+
+
+def _shapley_kernel_weights(num_frames: int, sizes: np.ndarray) -> np.ndarray:
+    """Shapley kernel pi(s) = (M-1) / (C(M,s) * s * (M-s)) for 0 < s < M."""
+    from scipy.special import comb
+
+    sizes = np.asarray(sizes)
+    weights = (num_frames - 1) / (
+        comb(num_frames, sizes) * sizes * (num_frames - sizes)
+    )
+    return np.asarray(weights, dtype=float)
+
+
+class KernelShapExplainer:
+    """KernelSHAP over frame features (the paper's frame-importance tool)."""
+
+    def __init__(self, model: CNNLSTMClassifier, config: ShapConfig | None = None):
+        self.model = model
+        self.config = config or ShapConfig()
+
+    def explain(
+        self,
+        features: np.ndarray,
+        class_index: int | None = None,
+    ) -> np.ndarray:
+        """Shapley values ``(M,)`` of each frame for one sample.
+
+        Parameters
+        ----------
+        features:
+            ``(M, D)`` per-frame CNN features of the sample (from
+            :meth:`~repro.models.CNNLSTMClassifier.frame_features`).
+        class_index:
+            Output logit to attribute; defaults to the model's predicted
+            class for the sample.
+        """
+        features = np.asarray(features, dtype=float)
+        if class_index is None:
+            logits = self.model.classify_feature_series(features[None])[0]
+            class_index = int(np.argmax(logits))
+        value = _FrameValueFunction(
+            self.model, features, class_index, self.config.baseline, self.config.batch_size
+        )
+        m = value.num_frames
+        rng = np.random.default_rng(self.config.seed)
+
+        # Sample coalition sizes from the Shapley kernel distribution and
+        # fill coalitions uniformly at that size.
+        sizes = np.arange(1, m)
+        size_weights = _shapley_kernel_weights(m, sizes)
+        size_probs = size_weights / size_weights.sum()
+        num = self.config.num_samples
+        drawn_sizes = rng.choice(sizes, size=num, p=size_probs)
+        masks = np.zeros((num, m), dtype=bool)
+        for row, size in enumerate(drawn_sizes):
+            masks[row, rng.choice(m, size=int(size), replace=False)] = True
+
+        v_full = float(value(np.ones((1, m), dtype=bool))[0])
+        v_empty = float(value(np.zeros((1, m), dtype=bool))[0])
+        v_masks = value(masks)
+
+        # Constrained WLS: minimize sum_j w_j (v_j - phi0 - z_j . phi)^2
+        # subject to sum(phi) = v_full - v_empty, phi0 = v_empty.
+        z = masks.astype(float)
+        weights = _shapley_kernel_weights(m, masks.sum(axis=1))
+        target = v_masks - v_empty
+        total = v_full - v_empty
+        # Eliminate the constraint by substituting the last coefficient:
+        # phi_last = total - sum(phi_rest).
+        z_last = z[:, -1]
+        z_reduced = z[:, :-1] - z_last[:, None]
+        y = target - z_last * total
+        w_sqrt = np.sqrt(weights)
+        a = z_reduced * w_sqrt[:, None]
+        b = y * w_sqrt
+        coeffs, *_ = np.linalg.lstsq(a, b, rcond=None)
+        phi = np.empty(m)
+        phi[:-1] = coeffs
+        phi[-1] = total - coeffs.sum()
+        return phi
+
+
+class PermutationShapExplainer:
+    """Monte-Carlo permutation estimate of the same Shapley values."""
+
+    def __init__(self, model: CNNLSTMClassifier, config: ShapConfig | None = None):
+        self.model = model
+        self.config = config or ShapConfig()
+
+    def explain(
+        self,
+        features: np.ndarray,
+        class_index: int | None = None,
+    ) -> np.ndarray:
+        """Shapley values ``(M,)`` via averaged marginal contributions."""
+        features = np.asarray(features, dtype=float)
+        if class_index is None:
+            logits = self.model.classify_feature_series(features[None])[0]
+            class_index = int(np.argmax(logits))
+        value = _FrameValueFunction(
+            self.model, features, class_index, self.config.baseline, self.config.batch_size
+        )
+        m = value.num_frames
+        rng = np.random.default_rng(self.config.seed)
+        num_permutations = max(1, self.config.num_samples // m)
+
+        phi = np.zeros(m)
+        for _ in range(num_permutations):
+            order = rng.permutation(m)
+            # Build the M+1 prefix masks of this permutation in one batch.
+            masks = np.zeros((m + 1, m), dtype=bool)
+            for step, frame in enumerate(order):
+                masks[step + 1] = masks[step]
+                masks[step + 1, frame] = True
+            values = value(masks)
+            phi[order] += np.diff(values)
+        return phi / num_permutations

@@ -1,0 +1,70 @@
+"""Tests for reflector trigger physics."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    CLOTHING_ATTENUATION,
+    TRIGGER_2X2,
+    TRIGGER_4X4,
+    ReflectorTrigger,
+    inches,
+)
+
+
+def test_inches_conversion():
+    assert inches(1.0) == pytest.approx(0.0254)
+    assert inches(4.0) == pytest.approx(0.1016)
+
+
+def test_paper_trigger_sizes():
+    assert TRIGGER_2X2.width_m == pytest.approx(inches(2))
+    assert TRIGGER_4X4.area_m2 == pytest.approx(4.0 * TRIGGER_2X2.area_m2)
+    assert TRIGGER_2X2.name == "2x2" and TRIGGER_4X4.name == "4x4"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReflectorTrigger(width_m=0.0)
+    with pytest.raises(ValueError):
+        ReflectorTrigger(reflectivity=0.0)
+    with pytest.raises(ValueError):
+        ReflectorTrigger(reflectivity=1.5)
+    with pytest.raises(ValueError):
+        ReflectorTrigger(specular_gain=0.5)
+
+
+def test_effective_reflectivity_includes_specular_gain():
+    trigger = ReflectorTrigger(specular_gain=10.0, reflectivity=1.0)
+    assert trigger.effective_reflectivity == pytest.approx(10.0)
+
+
+def test_concealed_trigger_attenuated():
+    concealed = TRIGGER_2X2.concealed()
+    assert concealed.under_clothing
+    assert concealed.effective_reflectivity == pytest.approx(
+        TRIGGER_2X2.effective_reflectivity * CLOTHING_ATTENUATION
+    )
+    assert "concealed" in concealed.name
+    # The original is untouched (frozen dataclass semantics).
+    assert not TRIGGER_2X2.under_clothing
+
+
+def test_mesh_at_position():
+    position = np.array([0.0, -0.115, 0.1])
+    mesh = TRIGGER_2X2.mesh_at(position)
+    # Patch area preserved, reflectivity baked in, stands proud toward -y.
+    assert mesh.total_area() == pytest.approx(TRIGGER_2X2.area_m2)
+    assert np.allclose(mesh.reflectivity, TRIGGER_2X2.effective_reflectivity)
+    assert mesh.centroid()[1] < position[1]
+    assert np.allclose(mesh.centroid()[[0, 2]], position[[0, 2]], atol=1e-9)
+
+
+def test_mesh_at_validates_position():
+    with pytest.raises(ValueError):
+        TRIGGER_2X2.mesh_at(np.zeros(2))
+
+
+def test_mesh_faces_radar():
+    mesh = TRIGGER_2X2.mesh_at(np.array([0.0, -0.1, 0.0]))
+    assert (mesh.face_normals()[:, 1] < 0.0).all()

@@ -1,0 +1,63 @@
+"""Tests for activity labels and attack scenario definitions."""
+
+import pytest
+
+from repro.datasets import (
+    DISSIMILAR_SCENARIOS,
+    NUM_ACTIVITIES,
+    SIMILAR_SCENARIOS,
+    AttackScenario,
+    activity_label,
+    activity_name,
+    similar_scenario,
+    training_positions,
+)
+
+
+def test_label_roundtrip():
+    for label in range(NUM_ACTIVITIES):
+        assert activity_label(activity_name(label)) == label
+
+
+def test_unknown_activity_rejected():
+    with pytest.raises(KeyError):
+        activity_label("jumping")
+    with pytest.raises(IndexError):
+        activity_name(6)
+
+
+def test_scenario_labels():
+    scenario = AttackScenario("push", "pull", similar=True)
+    assert scenario.victim_label == 0
+    assert scenario.target_label == 1
+    assert scenario.key == "push->pull"
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        AttackScenario("push", "push", similar=True)
+    with pytest.raises(ValueError):
+        AttackScenario("push", "dance", similar=False)
+
+
+def test_similar_scenario_builder():
+    scenario = similar_scenario("left_swipe")
+    assert scenario.target == "right_swipe"
+    assert scenario.similar
+
+
+def test_paper_scenarios():
+    # Section VI-E.1: Push->Pull, Left->Right.
+    assert SIMILAR_SCENARIOS[0].key == "push->pull"
+    assert SIMILAR_SCENARIOS[1].key == "left_swipe->right_swipe"
+    # Section VI-E.2: Push->Right Swipe, Push->Anticlockwise.
+    assert DISSIMILAR_SCENARIOS[0].key == "push->right_swipe"
+    assert DISSIMILAR_SCENARIOS[1].key == "push->anticlockwise"
+    assert all(not s.similar for s in DISSIMILAR_SCENARIOS)
+
+
+def test_training_positions_grid():
+    positions = training_positions()
+    assert len(positions) == 12  # 4 distances x 3 angles (Section VI-B)
+    assert (0.8, -30.0) in positions
+    assert (2.0, 30.0) in positions

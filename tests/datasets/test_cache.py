@@ -1,0 +1,80 @@
+"""Tests for dataset disk caching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    HeatmapDataset,
+    SampleMeta,
+    cache_key,
+    cached_dataset,
+    default_cache_dir,
+    load_dataset,
+    save_dataset,
+)
+
+
+def make_dataset(n=6):
+    rng = np.random.default_rng(0)
+    x = rng.random((n, 4, 8, 8)).astype(np.float32)
+    y = np.arange(n) % 3
+    meta = [
+        SampleMeta(
+            activity="push", distance_m=1.2, angle_deg=-30.0,
+            participant=1, has_trigger=bool(i % 2), trigger_attachment="chest",
+        )
+        for i in range(n)
+    ]
+    return HeatmapDataset(x, y, meta)
+
+
+def test_save_load_roundtrip(tmp_path):
+    ds = make_dataset()
+    path = tmp_path / "ds.npz"
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    assert np.allclose(loaded.x, ds.x)
+    assert (loaded.y == ds.y).all()
+    assert loaded.meta[1].has_trigger
+    assert loaded.meta[0].trigger_attachment == "chest"
+    assert loaded.meta[0].distance_m == pytest.approx(1.2)
+
+
+def test_cache_key_stability_and_sensitivity():
+    a = cache_key({"x": 1, "y": "abc"})
+    b = cache_key({"y": "abc", "x": 1})  # key order irrelevant
+    c = cache_key({"x": 2, "y": "abc"})
+    assert a == b
+    assert a != c
+    assert len(a) == 16
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+
+
+def test_cached_dataset_builds_once(tmp_path):
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return make_dataset()
+
+    params = {"test": "value"}
+    first = cached_dataset(params, builder, cache_dir=tmp_path)
+    second = cached_dataset(params, builder, cache_dir=tmp_path)
+    assert len(calls) == 1
+    assert np.allclose(first.x, second.x)
+
+
+def test_cached_dataset_distinguishes_params(tmp_path):
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return make_dataset()
+
+    cached_dataset({"n": 1}, builder, cache_dir=tmp_path)
+    cached_dataset({"n": 2}, builder, cache_dir=tmp_path)
+    assert len(calls) == 2

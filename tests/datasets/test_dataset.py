@@ -1,0 +1,117 @@
+"""Tests for HeatmapDataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import HeatmapDataset, SampleMeta, concat_datasets
+
+
+def make_dataset(n=12, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 4, 8, 8)).astype(np.float32)
+    y = np.arange(n) % num_classes
+    meta = [
+        SampleMeta(activity=str(int(label)), distance_m=1.0, angle_deg=0.0)
+        for label in y
+    ]
+    return HeatmapDataset(x, y, meta)
+
+
+def test_shapes_and_len():
+    ds = make_dataset()
+    assert len(ds) == 12
+    assert ds.num_frames == 4
+    assert ds.frame_shape == (8, 8)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HeatmapDataset(np.zeros((2, 4, 8)), np.zeros(2))
+    with pytest.raises(ValueError):
+        HeatmapDataset(np.zeros((2, 4, 8, 8)), np.zeros(3))
+    with pytest.raises(ValueError):
+        HeatmapDataset(
+            np.zeros((2, 4, 8, 8)), np.zeros(2),
+            [SampleMeta(activity="a", distance_m=1, angle_deg=0)],
+        )
+
+
+def test_default_meta_generated():
+    ds = HeatmapDataset(np.zeros((3, 2, 4, 4)), np.array([0, 1, 2]))
+    assert len(ds.meta) == 3
+
+
+def test_subset_keeps_meta_aligned():
+    ds = make_dataset()
+    sub = ds.subset([3, 5])
+    assert len(sub) == 2
+    assert sub.meta[0].activity == str(int(ds.y[3]))
+
+
+def test_filter_by_meta():
+    ds = make_dataset()
+    only_zero = ds.filter(lambda meta, label: label == 0)
+    assert (only_zero.y == 0).all()
+
+
+def test_class_indices():
+    ds = make_dataset()
+    idx = ds.class_indices(1)
+    assert (ds.y[idx] == 1).all()
+
+
+def test_stratified_split_covers_classes(rng):
+    ds = make_dataset(n=30)
+    train, test = ds.split(0.7, rng)
+    assert len(train) + len(test) == 30
+    assert set(np.unique(train.y)) == {0, 1, 2}
+    assert set(np.unique(test.y)) == {0, 1, 2}
+
+
+def test_split_fraction_validation(rng):
+    ds = make_dataset()
+    with pytest.raises(ValueError):
+        ds.split(1.0, rng)
+
+
+def test_unstratified_split(rng):
+    ds = make_dataset(n=20)
+    train, test = ds.split(0.5, rng, stratify=False)
+    assert len(train) == 10 and len(test) == 10
+
+
+def test_shuffled_preserves_pairs(rng):
+    ds = make_dataset()
+    shuffled = ds.shuffled(rng)
+    for i in range(len(shuffled)):
+        assert shuffled.meta[i].activity == str(int(shuffled.y[i]))
+
+
+def test_copy_is_deep_for_arrays():
+    ds = make_dataset()
+    clone = ds.copy()
+    clone.x[0] = 0.0
+    assert not np.allclose(clone.x[0], ds.x[0]) or ds.x[0].max() == 0.0
+
+
+def test_concat_datasets():
+    a, b = make_dataset(6, seed=1), make_dataset(4, seed=2)
+    merged = concat_datasets([a, b])
+    assert len(merged) == 10
+    assert len(merged.meta) == 10
+
+
+def test_concat_validates_shapes():
+    a = make_dataset(4)
+    b = HeatmapDataset(np.zeros((2, 5, 8, 8)), np.zeros(2))
+    with pytest.raises(ValueError):
+        concat_datasets([a, b])
+    with pytest.raises(ValueError):
+        concat_datasets([])
+
+
+def test_meta_with_trigger():
+    meta = SampleMeta(activity="push", distance_m=1.0, angle_deg=0.0)
+    triggered = meta.with_trigger("chest")
+    assert triggered.has_trigger and triggered.trigger_attachment == "chest"
+    assert not meta.has_trigger  # original unchanged

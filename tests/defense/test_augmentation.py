@@ -1,0 +1,66 @@
+"""Tests for the correct-label augmentation defense."""
+
+import numpy as np
+import pytest
+
+from repro.attack import TRIGGER_2X2
+from repro.datasets import HeatmapDataset, activity_label
+from repro.defense import (
+    AugmentationConfig,
+    augment_training_set,
+    build_augmentation_set,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AugmentationConfig(fraction=0.0)
+    with pytest.raises(ValueError):
+        AugmentationConfig(attachment_names=("chest", "elbow"))
+
+
+def _clean_train(n_per_class=4, num_frames=8):
+    xs, ys = [], []
+    for c in range(6):
+        for _ in range(n_per_class):
+            xs.append(np.zeros((num_frames, 16, 16), dtype=np.float32))
+            ys.append(c)
+    return HeatmapDataset(np.stack(xs), np.asarray(ys))
+
+
+def test_augmentation_set_labels_stay_honest(micro_generator):
+    clean = _clean_train()
+    augmented = build_augmentation_set(
+        micro_generator, TRIGGER_2X2, clean,
+        AugmentationConfig(fraction=0.25),
+        activities=("push", "pull"),
+    )
+    # fraction 0.25 of 4 samples -> 1 per class, 2 activities.
+    assert len(augmented) == 2
+    labels = {activity_label("push"), activity_label("pull")}
+    assert set(augmented.y.tolist()) == labels
+    assert all(meta.has_trigger for meta in augmented.meta)
+    assert all(meta.trigger_attachment for meta in augmented.meta)
+
+
+def test_augmentation_covers_multiple_attachments(micro_generator):
+    clean = _clean_train(n_per_class=8)
+    augmented = build_augmentation_set(
+        micro_generator, TRIGGER_2X2, clean,
+        AugmentationConfig(fraction=0.5),
+        activities=("push",),
+    )
+    attachments = {meta.trigger_attachment for meta in augmented.meta}
+    assert len(attachments) >= 2
+
+
+def test_augment_training_set_merges(micro_generator, rng):
+    clean = _clean_train()
+    augmented = build_augmentation_set(
+        micro_generator, TRIGGER_2X2, clean,
+        AugmentationConfig(fraction=0.25),
+        activities=("push",),
+    )
+    combined = augment_training_set(clean, augmented, rng)
+    assert len(combined) == len(clean) + len(augmented)
+    assert sum(meta.has_trigger for meta in combined.meta) == len(augmented)

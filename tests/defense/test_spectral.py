@@ -1,0 +1,102 @@
+"""Tests for the spectral-signature poisoning defense."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import HeatmapDataset
+from repro.defense import (
+    SpectralConfig,
+    SpectralDefense,
+    sample_representations,
+    spectral_scores,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SpectralConfig(removal_fraction=0.0)
+    with pytest.raises(ValueError):
+        SpectralConfig(removal_fraction=1.0)
+    with pytest.raises(ValueError):
+        SpectralConfig(min_class_size=1)
+
+
+def test_spectral_scores_flag_planted_outliers(rng):
+    """A sub-population shifted along one direction gets the top scores."""
+    clean = rng.normal(size=(40, 16))
+    direction = np.zeros(16)
+    direction[3] = 6.0
+    poisoned = rng.normal(size=(10, 16)) + direction
+    scores = spectral_scores(np.vstack([clean, poisoned]))
+    top10 = np.argsort(scores)[::-1][:10]
+    assert (top10 >= 40).mean() >= 0.8  # poisoned indices dominate the top
+
+
+def test_spectral_scores_validation():
+    with pytest.raises(ValueError):
+        spectral_scores(np.zeros((1, 4)))
+    with pytest.raises(ValueError):
+        spectral_scores(np.zeros(4))
+
+
+def test_sample_representations_shape(trained_micro_model, micro_dataset):
+    reps = sample_representations(trained_micro_model, micro_dataset.x[:5])
+    assert reps.shape == (5, trained_micro_model.config.lstm_hidden)
+
+
+def test_analyze_respects_min_class_size(trained_micro_model, micro_dataset):
+    defense = SpectralDefense(
+        trained_micro_model, SpectralConfig(removal_fraction=0.3, min_class_size=50)
+    )
+    report = defense.analyze(micro_dataset)
+    assert report.num_removed == 0  # every class too small to touch
+
+
+def test_filter_removes_per_class_fraction(trained_micro_model, rng):
+    # 12 samples per class in 2 classes, removal_fraction 0.25 -> 3 each.
+    x = rng.random((24, 8, 16, 16)).astype(np.float32)
+    y = np.array([0] * 12 + [1] * 12)
+    dataset = HeatmapDataset(x, y)
+    defense = SpectralDefense(
+        trained_micro_model, SpectralConfig(removal_fraction=0.25, min_class_size=4)
+    )
+    cleaned, report = defense.filter(dataset)
+    assert report.num_removed == 6
+    assert len(cleaned) == 18
+    # Removal is class-balanced.
+    removed_labels = y[report.removed_indices]
+    assert (removed_labels == 0).sum() == 3
+    assert (removed_labels == 1).sum() == 3
+
+
+def test_recall_metric(trained_micro_model, rng):
+    x = rng.random((20, 8, 16, 16)).astype(np.float32)
+    y = np.zeros(20, dtype=int)
+    dataset = HeatmapDataset(x, y)
+    defense = SpectralDefense(
+        trained_micro_model, SpectralConfig(removal_fraction=0.2, min_class_size=4)
+    )
+    report = defense.analyze(dataset)
+    mask = np.zeros(20, dtype=bool)
+    mask[report.removed_indices] = True
+    assert report.recall(mask) == 1.0
+    with pytest.raises(ValueError):
+        report.recall(np.zeros(20, dtype=bool))
+
+
+def test_defense_catches_backdoor_signature(trained_micro_model, rng):
+    """Poisoned samples (distinct bright blob) are preferentially removed
+    from the target class."""
+    clean = rng.random((16, 8, 16, 16)).astype(np.float32) * 0.3
+    poisoned = rng.random((6, 8, 16, 16)).astype(np.float32) * 0.3
+    poisoned[:, :, 4:7, 4:7] += 0.7  # the trigger signature
+    x = np.concatenate([clean, poisoned])
+    y = np.ones(22, dtype=int)  # all labeled as the target class
+    dataset = HeatmapDataset(x, y)
+    defense = SpectralDefense(
+        trained_micro_model, SpectralConfig(removal_fraction=6 / 22, min_class_size=4)
+    )
+    report = defense.analyze(dataset)
+    truth = np.zeros(22, dtype=bool)
+    truth[16:] = True
+    assert report.recall(truth) >= 0.5  # better than random (6/22 ~ 27%)

@@ -1,0 +1,57 @@
+"""Tests for ASCII heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval import render_comparison, render_heatmap
+
+
+def test_render_shape():
+    art = render_heatmap(np.zeros((4, 8)))
+    lines = art.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == 8 for line in lines)
+
+
+def test_render_intensity_mapping():
+    heatmap = np.array([[0.0, 1.0]])
+    art = render_heatmap(heatmap)
+    assert art[0] == " "  # darkest
+    assert art[-1] == "@"  # brightest
+
+
+def test_render_constant_field():
+    art = render_heatmap(np.full((2, 2), 0.5))
+    assert set(art.replace("\n", "")) == {" "}  # degenerate range maps low
+
+
+def test_render_downsamples_wide_maps():
+    art = render_heatmap(np.zeros((2, 200)), max_width=50)
+    assert len(art.splitlines()[0]) <= 100
+
+
+def test_render_validates_rank():
+    with pytest.raises(ValueError):
+        render_heatmap(np.zeros(8))
+
+
+def test_render_pinned_range():
+    half = render_heatmap(np.full((1, 1), 0.5), value_range=(0.0, 1.0))
+    assert half not in (" ", "@")
+
+
+def test_comparison_panels():
+    clean = np.zeros((4, 6))
+    triggered = clean.copy()
+    triggered[2, 3] = 1.0
+    art = render_comparison(clean, triggered)
+    assert "clean" in art
+    assert "triggered" in art
+    assert "|diff|" in art
+    assert "@" in art  # the trigger blob shows up
+    assert len(art.splitlines()) == 5  # title row + 4 raster rows
+
+
+def test_comparison_validates_shapes():
+    with pytest.raises(ValueError):
+        render_comparison(np.zeros((2, 2)), np.zeros((3, 3)))

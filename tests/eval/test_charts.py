@@ -1,0 +1,48 @@
+"""Tests for ASCII sweep charts."""
+
+import pytest
+
+from repro.eval.charts import render_series, render_sweep_chart
+from repro.eval import SweepResult
+from repro.models import AttackMetrics
+
+
+def test_render_series_basic():
+    art = render_series({"a": [0.0, 0.5, 1.0]}, height=5)
+    lines = art.splitlines()
+    assert lines[0].startswith("1.00 +")
+    assert lines[-2].startswith("0.00 +")
+    assert "o a" in lines[-1]
+    # Three plotted points.
+    assert sum(line.count("o") for line in lines[:-1]) == 3
+
+
+def test_render_series_multiple_markers():
+    art = render_series({"first": [0.1, 0.2], "second": [0.9, 0.8]})
+    assert "o first" in art and "x second" in art
+
+
+def test_render_series_clips_out_of_range():
+    art = render_series({"a": [-1.0, 2.0]}, height=4)
+    assert art  # no crash; values clipped to the rails
+
+
+def test_render_series_validation():
+    with pytest.raises(ValueError):
+        render_series({})
+    with pytest.raises(ValueError):
+        render_series({"a": [1.0], "b": [1.0, 2.0]})
+    with pytest.raises(ValueError):
+        render_series({"a": [0.5]}, y_range=(1.0, 1.0))
+
+
+def test_render_sweep_chart():
+    sweep = SweepResult(
+        "injection_rate",
+        (0.1, 0.4),
+        {"push->pull": [AttackMetrics(0.2, 0.3, 0.9), AttackMetrics(0.8, 0.9, 0.85)]},
+    )
+    art = render_sweep_chart(sweep, "asr")
+    assert "ASR vs injection_rate" in art
+    assert "0.1, 0.4" in art
+    assert "push->pull" in art

@@ -1,0 +1,61 @@
+"""Tests for OBJ mesh import/export."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import HumanModel, box, load_obj, save_obj, uv_sphere
+
+
+def test_roundtrip_preserves_geometry(tmp_path):
+    mesh = uv_sphere(0.3, rings=5, segments=7, name="ball")
+    path = tmp_path / "ball.obj"
+    save_obj(mesh, path)
+    loaded = load_obj(path, reflectivity=0.5)
+    assert np.allclose(loaded.vertices, mesh.vertices)
+    assert np.array_equal(loaded.faces, mesh.faces)
+    assert loaded.name == "ball"
+    assert np.allclose(loaded.reflectivity, 0.5)
+
+
+def test_roundtrip_preserves_areas(tmp_path):
+    mesh = box((0.4, 0.3, 0.2))
+    path = tmp_path / "box.obj"
+    save_obj(mesh, path)
+    loaded = load_obj(path)
+    assert loaded.total_area() == pytest.approx(mesh.total_area())
+
+
+def test_export_human_body(tmp_path):
+    body = HumanModel().pose(np.array([-0.2, -0.4, 0.0]))
+    path = tmp_path / "body.obj"
+    save_obj(body, path)
+    text = path.read_text()
+    assert text.count("\nv ") == body.num_vertices
+    assert text.count("\nf ") == body.num_faces
+
+
+def test_load_polygon_fan_triangulation(tmp_path):
+    path = tmp_path / "quad.obj"
+    path.write_text(
+        "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n"
+    )
+    mesh = load_obj(path)
+    assert mesh.num_faces == 2  # quad split into two triangles
+    assert mesh.total_area() == pytest.approx(1.0)
+
+
+def test_load_handles_slash_syntax_and_negatives(tmp_path):
+    path = tmp_path / "fancy.obj"
+    path.write_text(
+        "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2/2/2 3/3/3\nf -3 -2 -1\n"
+    )
+    mesh = load_obj(path)
+    assert mesh.num_faces == 2
+    assert np.array_equal(mesh.faces[0], mesh.faces[1])
+
+
+def test_load_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.obj"
+    path.write_text("# nothing here\n")
+    with pytest.raises(ValueError):
+        load_obj(path)

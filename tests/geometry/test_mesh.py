@@ -1,0 +1,127 @@
+"""Tests for TriangleMesh geometry and editing operations."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RigidTransform, TriangleMesh, merge_meshes, rotation_z
+
+
+@pytest.fixture()
+def unit_triangle() -> TriangleMesh:
+    vertices = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+    return TriangleMesh(vertices, np.array([[0, 1, 2]]), reflectivity=0.5)
+
+
+def test_face_area_of_unit_right_triangle(unit_triangle):
+    assert unit_triangle.face_areas()[0] == pytest.approx(0.5)
+
+
+def test_face_normal_is_unit_and_perpendicular(unit_triangle):
+    normal = unit_triangle.face_normals()[0]
+    assert np.allclose(normal, [0.0, 0.0, 1.0])
+
+
+def test_face_centroid(unit_triangle):
+    assert np.allclose(unit_triangle.face_centroids()[0], [1 / 3, 1 / 3, 0.0])
+
+
+def test_degenerate_face_has_zero_normal():
+    vertices = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+    mesh = TriangleMesh(vertices, np.array([[0, 1, 2]]))
+    assert np.allclose(mesh.face_normals()[0], 0.0)
+    assert mesh.face_areas()[0] == pytest.approx(0.0)
+
+
+def test_scalar_reflectivity_broadcasts(unit_triangle):
+    assert unit_triangle.reflectivity.shape == (1,)
+    assert unit_triangle.reflectivity[0] == pytest.approx(0.5)
+
+
+def test_per_face_reflectivity_validated():
+    vertices = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        TriangleMesh(vertices, np.array([[0, 1, 2]]), reflectivity=np.array([0.1, 0.2]))
+
+
+def test_face_index_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        TriangleMesh(np.zeros((2, 3)), np.array([[0, 1, 2]]))
+
+
+def test_bad_vertex_shape_rejected():
+    with pytest.raises(ValueError):
+        TriangleMesh(np.zeros((3, 2)), np.array([[0, 1, 2]]))
+
+
+def test_transformed_preserves_areas(unit_triangle):
+    transform = RigidTransform(rotation_z(0.8), np.array([1.0, 2.0, 3.0]))
+    moved = unit_triangle.transformed(transform)
+    assert moved.face_areas()[0] == pytest.approx(unit_triangle.face_areas()[0])
+    assert not np.allclose(moved.vertices, unit_triangle.vertices)
+
+
+def test_translated_moves_centroid(unit_triangle):
+    moved = unit_triangle.translated([0.0, 0.0, 2.0])
+    assert np.allclose(
+        moved.face_centroids()[0], unit_triangle.face_centroids()[0] + [0, 0, 2]
+    )
+
+
+def test_scaled_per_axis(unit_triangle):
+    scaled = unit_triangle.scaled([2.0, 3.0, 1.0])
+    assert scaled.face_areas()[0] == pytest.approx(0.5 * 2.0 * 3.0)
+
+
+def test_submesh_filters_faces():
+    vertices = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float
+    )
+    faces = np.array([[0, 1, 2], [1, 3, 2]])
+    mesh = TriangleMesh(vertices, faces, reflectivity=np.array([0.3, 0.9]))
+    sub = mesh.submesh(np.array([False, True]))
+    assert sub.num_faces == 1
+    assert sub.reflectivity[0] == pytest.approx(0.9)
+
+
+def test_submesh_mask_length_checked(unit_triangle):
+    with pytest.raises(ValueError):
+        unit_triangle.submesh(np.array([True, False]))
+
+
+def test_copy_is_independent(unit_triangle):
+    clone = unit_triangle.copy()
+    clone.vertices[0] += 1.0
+    assert not np.allclose(clone.vertices[0], unit_triangle.vertices[0])
+
+
+def test_merge_meshes_remaps_indices(unit_triangle):
+    other = unit_triangle.translated([5.0, 0.0, 0.0])
+    merged = merge_meshes([unit_triangle, other])
+    assert merged.num_vertices == 6
+    assert merged.num_faces == 2
+    assert merged.faces[1].min() >= 3
+    assert np.allclose(merged.face_areas(), 0.5)
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValueError):
+        merge_meshes([])
+
+
+def test_centroid_area_weighted():
+    big = TriangleMesh(
+        np.array([[0, 0, 0], [2, 0, 0], [0, 2, 0]], dtype=float),
+        np.array([[0, 1, 2]]),
+    )
+    small = TriangleMesh(
+        np.array([[10, 0, 0], [10.1, 0, 0], [10, 0.1, 0]], dtype=float),
+        np.array([[0, 1, 2]]),
+    )
+    merged = merge_meshes([big, small])
+    # The big triangle dominates the area-weighted centroid.
+    assert merged.centroid()[0] < 1.0
+
+
+def test_total_area_sums_faces(unit_triangle):
+    doubled = merge_meshes([unit_triangle, unit_triangle.translated([3, 0, 0])])
+    assert doubled.total_area() == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Tests for parametric mesh primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import box, capsule, ellipsoid, planar_patch, uv_sphere
+
+
+def test_sphere_vertices_on_surface():
+    mesh = uv_sphere(0.5, rings=8, segments=12)
+    radii = np.linalg.norm(mesh.vertices, axis=1)
+    assert np.allclose(radii, 0.5, atol=1e-12)
+
+
+def test_sphere_area_approaches_analytic():
+    mesh = uv_sphere(1.0, rings=24, segments=48)
+    assert mesh.total_area() == pytest.approx(4.0 * math.pi, rel=0.02)
+
+
+def test_sphere_normals_point_outward():
+    mesh = uv_sphere(1.0, rings=6, segments=8)
+    dots = (mesh.face_normals() * mesh.face_centroids()).sum(axis=1)
+    assert (dots > 0.0).all()
+
+
+def test_sphere_parameter_validation():
+    with pytest.raises(ValueError):
+        uv_sphere(1.0, rings=1)
+    with pytest.raises(ValueError):
+        uv_sphere(1.0, segments=2)
+
+
+def test_ellipsoid_bounds():
+    mesh = ellipsoid((0.2, 0.1, 0.4), rings=8, segments=10)
+    low, high = mesh.bounds()
+    # Discrete UV sampling undershoots the equator extremes slightly but
+    # must never overshoot the semi-axes.
+    assert (high <= np.array([0.2, 0.1, 0.4]) + 1e-12).all()
+    assert (low >= -np.array([0.2, 0.1, 0.4]) - 1e-12).all()
+    assert np.allclose(high, [0.2, 0.1, 0.4], rtol=0.1)
+    assert np.allclose(low, [-0.2, -0.1, -0.4], rtol=0.1)
+
+
+def test_box_area_and_bounds():
+    mesh = box((1.0, 2.0, 3.0))
+    assert mesh.total_area() == pytest.approx(2 * (1 * 2 + 2 * 3 + 1 * 3))
+    low, high = mesh.bounds()
+    assert np.allclose(high - low, [1.0, 2.0, 3.0])
+
+
+def test_box_normals_outward():
+    mesh = box((1.0, 1.0, 1.0))
+    dots = (mesh.face_normals() * mesh.face_centroids()).sum(axis=1)
+    assert (dots > 0.0).all()
+
+
+def test_capsule_height_span():
+    mesh = capsule(0.1, 0.6, segments=10)
+    low, high = mesh.bounds()
+    assert high[2] == pytest.approx(0.1 + 0.3)
+    assert low[2] == pytest.approx(-0.1 - 0.3)
+
+
+def test_capsule_negative_height_rejected():
+    with pytest.raises(ValueError):
+        capsule(0.1, -0.2)
+
+
+def test_planar_patch_faces_negative_y():
+    mesh = planar_patch(0.05, 0.05, subdivisions=2)
+    normals = mesh.face_normals()
+    assert (normals[:, 1] < 0.0).all()
+
+
+def test_planar_patch_area():
+    mesh = planar_patch(0.05, 0.1, subdivisions=3)
+    assert mesh.total_area() == pytest.approx(0.005)
+
+
+def test_planar_patch_subdivision_validation():
+    with pytest.raises(ValueError):
+        planar_patch(0.1, 0.1, subdivisions=0)
+
+
+def test_planar_patch_lies_in_xz_plane():
+    mesh = planar_patch(0.1, 0.1)
+    assert np.allclose(mesh.vertices[:, 1], 0.0)

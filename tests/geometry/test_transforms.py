@@ -1,0 +1,111 @@
+"""Tests for rigid transforms and the subject placement convention."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    RigidTransform,
+    rotation_about_axis,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    subject_placement,
+)
+
+
+@pytest.mark.parametrize("builder", [rotation_x, rotation_y, rotation_z])
+def test_rotations_are_orthonormal(builder):
+    rot = builder(0.7)
+    assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+    assert np.isclose(np.linalg.det(rot), 1.0)
+
+
+def test_rotation_z_rotates_x_to_y():
+    rot = rotation_z(math.pi / 2)
+    assert np.allclose(rot @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12)
+
+
+def test_rotation_about_axis_matches_elementary():
+    assert np.allclose(rotation_about_axis(np.array([0, 0, 1.0]), 0.3), rotation_z(0.3))
+    assert np.allclose(rotation_about_axis(np.array([1.0, 0, 0]), -1.1), rotation_x(-1.1))
+
+
+def test_rotation_about_zero_axis_raises():
+    with pytest.raises(ValueError):
+        rotation_about_axis(np.zeros(3), 1.0)
+
+
+def test_identity_transform_is_noop(rng):
+    points = rng.normal(size=(5, 3))
+    assert np.allclose(RigidTransform.identity().apply(points), points)
+
+
+def test_apply_matches_manual_computation(rng):
+    rot = rotation_z(0.4)
+    t = np.array([1.0, -2.0, 0.5])
+    transform = RigidTransform(rot, t)
+    points = rng.normal(size=(4, 3))
+    assert np.allclose(transform.apply(points), points @ rot.T + t)
+
+
+def test_apply_vectors_ignores_translation():
+    transform = RigidTransform(rotation_z(0.9), np.array([5.0, 5.0, 5.0]))
+    vec = np.array([1.0, 0.0, 0.0])
+    assert np.allclose(transform.apply_vectors(vec), rotation_z(0.9) @ vec)
+
+
+def test_compose_order(rng):
+    a = RigidTransform(rotation_z(0.3), np.array([1.0, 0.0, 0.0]))
+    b = RigidTransform(rotation_x(0.5), np.array([0.0, 2.0, 0.0]))
+    points = rng.normal(size=(6, 3))
+    assert np.allclose(a.compose(b).apply(points), a.apply(b.apply(points)))
+
+
+def test_inverse_roundtrip(rng):
+    transform = RigidTransform(rotation_y(1.2), np.array([0.3, -0.7, 2.0]))
+    points = rng.normal(size=(6, 3))
+    restored = transform.inverse().apply(transform.apply(points))
+    assert np.allclose(restored, points, atol=1e-12)
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        RigidTransform(rotation=np.eye(2))
+    with pytest.raises(ValueError):
+        RigidTransform(translation=np.zeros(2))
+
+
+def test_subject_placement_boresight():
+    transform = subject_placement(1.5, 0.0)
+    assert np.allclose(transform.translation, [0.0, 1.5, 0.0])
+    # A subject-local point in front of the chest stays between the
+    # subject and the radar.
+    front = transform.apply(np.array([0.0, -0.2, 0.0]))
+    assert front[1] == pytest.approx(1.3)
+
+
+def test_subject_placement_angle_geometry():
+    transform = subject_placement(2.0, 30.0)
+    expected = np.array([2.0 * math.sin(math.radians(30)), 2.0 * math.cos(math.radians(30)), 0.0])
+    assert np.allclose(transform.translation, expected)
+    # The subject still faces the radar: its local -y axis points back
+    # toward the origin.
+    facing = transform.apply_vectors(np.array([0.0, -1.0, 0.0]))
+    to_origin = -transform.translation / np.linalg.norm(transform.translation)
+    assert np.allclose(facing, to_origin, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    angle=st.floats(-math.pi, math.pi),
+    tx=st.floats(-3, 3), ty=st.floats(-3, 3), tz=st.floats(-3, 3),
+)
+def test_inverse_is_involutive_property(angle, tx, ty, tz):
+    transform = RigidTransform(rotation_z(angle), np.array([tx, ty, tz]))
+    double_inverse = transform.inverse().inverse()
+    assert np.allclose(double_inverse.rotation, transform.rotation, atol=1e-9)
+    assert np.allclose(double_inverse.translation, transform.translation, atol=1e-9)

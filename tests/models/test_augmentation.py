@@ -1,0 +1,95 @@
+"""Tests for training-time heatmap augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AugmentationPolicy,
+    add_noise,
+    augment_batch,
+    jitter_gain,
+    shift_spatial,
+    shift_temporal,
+)
+
+
+@pytest.fixture()
+def batch(rng):
+    return rng.random((4, 6, 8, 8)).astype(np.float32)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AugmentationPolicy(noise_std=-0.1)
+    with pytest.raises(ValueError):
+        AugmentationPolicy(max_range_shift=-1)
+
+
+def test_add_noise_zero_std_is_copy(batch, rng):
+    out = add_noise(batch, 0.0, rng)
+    assert np.array_equal(out, batch)
+    assert out is not batch
+
+
+def test_add_noise_stays_in_range(batch, rng):
+    out = add_noise(batch, 0.5, rng)
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    assert not np.array_equal(out, batch)
+
+
+def test_jitter_gain_per_sample(batch, rng):
+    out = jitter_gain(batch, 0.5, rng)
+    # Each sample is scaled by a single factor: ratios are constant where
+    # no clipping occurred.
+    sample, original = out[0], batch[0]
+    unclipped = (out[0] < 1.0) & (batch[0] > 0.01)
+    ratios = sample[unclipped] / original[unclipped]
+    assert ratios.std() < 1e-5
+
+
+def test_shift_spatial_rolls(batch, rng):
+    out = shift_spatial(batch, 2, 2, rng)
+    assert out.shape == batch.shape
+    # Energy is preserved by rolling.
+    assert np.allclose(out.sum(), batch.sum(), rtol=1e-6)
+
+
+def test_shift_temporal_replicates_edges(rng):
+    x = np.arange(6, dtype=np.float32).reshape(1, 6, 1, 1)
+    x = np.broadcast_to(x, (1, 6, 2, 2)).copy()
+    out = shift_temporal(x, 2, np.random.default_rng(1))
+    # Frames remain a permutation-with-replication of the originals.
+    assert set(np.unique(out)) <= set(np.unique(x))
+
+
+def test_shift_temporal_zero_is_copy(batch):
+    out = shift_temporal(batch, 0, np.random.default_rng(0))
+    assert np.array_equal(out, batch)
+
+
+def test_augment_batch_full_policy(batch, rng):
+    policy = AugmentationPolicy(noise_std=0.02, gain_jitter=0.1,
+                                max_range_shift=1, max_angle_shift=1,
+                                max_time_shift=1)
+    out = augment_batch(batch, policy, rng)
+    assert out.shape == batch.shape
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    assert not np.array_equal(out, batch)
+
+
+def test_augment_batch_validates_rank(rng):
+    with pytest.raises(ValueError):
+        augment_batch(np.zeros((6, 8, 8)), AugmentationPolicy(), rng)
+
+
+def test_augmentation_is_label_preserving_for_training(batch, rng):
+    """Augmented batches keep the gesture structure: a strong localized
+    blob stays a strong localized blob (same total mass +/- noise)."""
+    x = np.zeros((1, 6, 8, 8), dtype=np.float32)
+    x[0, :, 4, 4] = 1.0
+    policy = AugmentationPolicy(noise_std=0.0, gain_jitter=0.0,
+                                max_range_shift=1, max_angle_shift=1,
+                                max_time_shift=0)
+    out = augment_batch(x, policy, rng)
+    assert out.sum() == pytest.approx(x.sum())
+    assert out.max() == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""Tests for the training loop: learning, early stopping, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.models import CNNLSTMClassifier, ModelConfig, Trainer, TrainingConfig
+
+
+def _separable_data(n_per_class=8, num_classes=3, rng=None):
+    """Trivially separable sequences: class c lights up range band c."""
+    rng = rng or np.random.default_rng(0)
+    xs, ys = [], []
+    for c in range(num_classes):
+        for _ in range(n_per_class):
+            x = rng.random((8, 16, 16)).astype(np.float32) * 0.1
+            x[:, c * 4 : c * 4 + 4, :] += 0.8
+            xs.append(x)
+            ys.append(c)
+    return np.stack(xs), np.array(ys)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, y = _separable_data()
+    config = ModelConfig(
+        frame_shape=(16, 16), num_classes=3, conv_channels=(4, 8),
+        feature_dim=12, lstm_hidden=16, dropout=0.0,
+    )
+    model = CNNLSTMClassifier(config, np.random.default_rng(1))
+    trainer = Trainer(
+        TrainingConfig(epochs=15, batch_size=8, learning_rate=3e-3,
+                       validation_fraction=0.2, seed=0)
+    )
+    history = trainer.fit(model, x, y)
+    return model, trainer, history, (x, y)
+
+
+def test_learns_separable_data(trained):
+    model, trainer, history, (x, y) = trained
+    _, acc = trainer.evaluate(model, x, y)
+    assert acc > 0.9
+
+
+def test_history_is_populated(trained):
+    _, _, history, _ = trained
+    assert history.num_epochs >= 1
+    assert len(history.val_loss) == history.num_epochs
+    assert history.best_epoch >= 0
+    assert history.wall_time_s > 0.0
+
+
+def test_loss_decreases(trained):
+    _, _, history, _ = trained
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_training_is_deterministic():
+    x, y = _separable_data(n_per_class=4)
+    config = ModelConfig(
+        frame_shape=(16, 16), num_classes=3, conv_channels=(4, 8),
+        feature_dim=12, lstm_hidden=16, dropout=0.0,
+    )
+
+    def run():
+        model = CNNLSTMClassifier(config, np.random.default_rng(5))
+        Trainer(TrainingConfig(epochs=2, seed=7, validation_fraction=0.0)).fit(
+            model, x, y
+        )
+        return model.predict_logits(x[:4])
+
+    assert np.allclose(run(), run())
+
+
+def test_early_stopping_respects_patience():
+    x, y = _separable_data(n_per_class=4)
+    config = ModelConfig(
+        frame_shape=(16, 16), num_classes=3, conv_channels=(4, 8),
+        feature_dim=12, lstm_hidden=16, dropout=0.0,
+    )
+    model = CNNLSTMClassifier(config, np.random.default_rng(2))
+    # learning_rate=0 means no improvement: stops after patience+1 epochs.
+    trainer = Trainer(
+        TrainingConfig(epochs=30, patience=2, learning_rate=1e-12,
+                       validation_fraction=0.2, seed=0)
+    )
+    history = trainer.fit(model, x, y)
+    assert history.num_epochs <= 5
+
+
+def test_explicit_validation_split():
+    x, y = _separable_data(n_per_class=4)
+    config = ModelConfig(
+        frame_shape=(16, 16), num_classes=3, conv_channels=(4, 8),
+        feature_dim=12, lstm_hidden=16, dropout=0.0,
+    )
+    model = CNNLSTMClassifier(config, np.random.default_rng(2))
+    history = Trainer(TrainingConfig(epochs=2)).fit(
+        model, x[:-6], y[:-6], validation=(x[-6:], y[-6:])
+    )
+    assert len(history.val_accuracy) == history.num_epochs
+
+
+def test_fit_validates_inputs():
+    model = CNNLSTMClassifier(
+        ModelConfig(frame_shape=(16, 16), conv_channels=(4, 8),
+                    feature_dim=12, lstm_hidden=16),
+        np.random.default_rng(0),
+    )
+    trainer = Trainer(TrainingConfig(epochs=1))
+    with pytest.raises(ValueError):
+        trainer.fit(model, np.zeros((2, 8, 16, 16)), np.zeros(3, dtype=int))
+    with pytest.raises(ValueError):
+        trainer.fit(model, np.zeros((0, 8, 16, 16)), np.zeros(0, dtype=int))
+
+
+def test_best_weights_restored(trained):
+    """After fit, the model scores at least as well as the last epoch."""
+    model, trainer, history, (x, y) = trained
+    val_loss, _ = trainer.evaluate(model, x, y)
+    assert np.isfinite(val_loss)
+    assert history.best_epoch <= history.num_epochs - 1
+
+
+def test_training_with_augmentation_policy():
+    from repro.models import AugmentationPolicy
+
+    x, y = _separable_data(n_per_class=4)
+    config = ModelConfig(
+        frame_shape=(16, 16), num_classes=3, conv_channels=(4, 8),
+        feature_dim=12, lstm_hidden=16, dropout=0.0,
+    )
+    model = CNNLSTMClassifier(config, np.random.default_rng(3))
+    trainer = Trainer(
+        TrainingConfig(
+            epochs=6, validation_fraction=0.0, seed=0,
+            augmentation=AugmentationPolicy(noise_std=0.02, max_time_shift=1),
+        )
+    )
+    history = trainer.fit(model, x, y)
+    # Augmented training still learns the trivially separable data.
+    assert history.train_accuracy[-1] > 0.6

@@ -1,0 +1,76 @@
+"""Tests for the GRU cell and sequence layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, Linear, Tensor, cross_entropy
+
+from .test_tensor import numerical_gradient
+
+
+def test_cell_shapes(rng):
+    cell = GRUCell(4, 6, rng)
+    hidden = cell.initial_state(3)
+    assert hidden.shape == (3, 6)
+    new_hidden = cell(Tensor(np.zeros((3, 4))), hidden)
+    assert new_hidden.shape == (3, 6)
+
+
+def test_hidden_bounded(rng):
+    gru = GRU(4, 8, rng)
+    hidden = gru(Tensor(rng.normal(size=(2, 12, 4)) * 5.0))
+    assert (np.abs(hidden.data) <= 1.0).all()
+
+
+def test_zero_update_gate_keeps_state(rng):
+    """With the update gate saturated to 1, the state never changes."""
+    cell = GRUCell(2, 3, rng)
+    # Saturate the update gate via its bias (order: reset, update, cand).
+    cell.bias.data[3:6] = 50.0
+    hidden = Tensor(np.full((1, 3), 0.37))
+    new_hidden = cell(Tensor(np.ones((1, 2))), hidden)
+    assert np.allclose(new_hidden.data, 0.37, atol=1e-6)
+
+
+def test_return_sequence(rng):
+    gru = GRU(3, 5, rng)
+    sequence = gru(Tensor(np.zeros((2, 7, 3))), return_sequence=True)
+    assert sequence.shape == (2, 7, 5)
+    last = gru(Tensor(np.zeros((2, 7, 3))))
+    assert np.allclose(last.data, sequence.data[:, -1, :])
+
+
+def test_input_rank_validated(rng):
+    with pytest.raises(ValueError):
+        GRU(3, 5, rng)(Tensor(np.zeros((2, 3))))
+
+
+def test_order_sensitivity(rng):
+    gru = GRU(2, 8, rng)
+    forward_seq = rng.normal(size=(1, 6, 2))
+    h_fwd = gru(Tensor(forward_seq)).data
+    h_bwd = gru(Tensor(forward_seq[:, ::-1, :].copy())).data
+    assert not np.allclose(h_fwd, h_bwd, atol=1e-3)
+
+
+def test_gru_end_to_end_gradients(rng):
+    gru = GRU(3, 4, rng)
+    head = Linear(4, 2, rng)
+    x = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+    labels = np.array([0, 1])
+
+    def loss_value():
+        return cross_entropy(head(gru(Tensor(x.data))), labels).item()
+
+    cross_entropy(head(gru(x)), labels).backward()
+    for name, param in list(gru.named_parameters()) + [("x", x)]:
+        numeric = numerical_gradient(loss_value, param.data)
+        assert np.abs(numeric - param.grad).max() < 1e-6, name
+
+
+def test_gru_has_fewer_parameters_than_lstm(rng):
+    from repro.nn import LSTM
+
+    gru = GRU(16, 32, rng)
+    lstm = LSTM(16, 32, rng)
+    assert gru.num_parameters() < lstm.num_parameters()

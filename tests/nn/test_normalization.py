@@ -1,0 +1,93 @@
+"""Tests for LayerNorm / BatchNorm1d."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, LayerNorm, Tensor
+
+from .test_tensor import numerical_gradient
+
+
+def test_layer_norm_normalizes_last_axis(rng):
+    layer = LayerNorm(8)
+    x = Tensor(rng.normal(2.0, 3.0, size=(4, 8)))
+    out = layer(x).data
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_layer_norm_affine_parameters(rng):
+    layer = LayerNorm(4)
+    layer.gamma.data = np.array([2.0, 2.0, 2.0, 2.0])
+    layer.beta.data = np.array([1.0, 1.0, 1.0, 1.0])
+    out = layer(Tensor(rng.normal(size=(3, 4)))).data
+    assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+def test_layer_norm_validation(rng):
+    with pytest.raises(ValueError):
+        LayerNorm(0)
+    with pytest.raises(ValueError):
+        LayerNorm(4)(Tensor(np.zeros((2, 5))))
+
+
+def test_layer_norm_gradients(rng):
+    layer = LayerNorm(5)
+    x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+    target = rng.normal(size=(3, 5))
+
+    def loss_value():
+        out = layer(Tensor(x.data))
+        return float(((out.data - target) ** 2).mean())
+
+    out = layer(x)
+    ((out - Tensor(target)) ** 2.0).mean().backward()
+    numeric = numerical_gradient(loss_value, x.data)
+    assert np.abs(numeric - x.grad).max() < 1e-6
+
+
+def test_batch_norm_training_statistics(rng):
+    layer = BatchNorm1d(6)
+    x = Tensor(rng.normal(3.0, 2.0, size=(32, 6)))
+    out = layer(x).data
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+    assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+    # Running stats moved toward the batch stats.
+    assert np.abs(layer.running_mean).max() > 0.1
+
+
+def test_batch_norm_eval_uses_running_stats(rng):
+    layer = BatchNorm1d(4, momentum=0.5)
+    for _ in range(20):
+        layer(Tensor(rng.normal(5.0, 1.0, size=(16, 4))))
+    layer.eval()
+    out = layer(Tensor(np.full((1, 4), 5.0))).data
+    # An input at the population mean normalizes to ~0 (the running mean
+    # tracks noisy 16-sample batch means, so allow their sampling error).
+    assert np.allclose(out, 0.0, atol=0.6)
+
+
+def test_batch_norm_eval_accepts_single_sample(rng):
+    layer = BatchNorm1d(3)
+    layer(Tensor(rng.normal(size=(8, 3))))
+    layer.eval()
+    out = layer(Tensor(np.zeros((1, 3))))
+    assert out.shape == (1, 3)
+
+
+def test_batch_norm_validation(rng):
+    with pytest.raises(ValueError):
+        BatchNorm1d(0)
+    with pytest.raises(ValueError):
+        BatchNorm1d(4, momentum=1.0)
+    layer = BatchNorm1d(4)
+    with pytest.raises(ValueError):
+        layer(Tensor(np.zeros((1, 4))))  # batch of 1 in training mode
+    with pytest.raises(ValueError):
+        layer(Tensor(np.zeros((4, 5))))
+
+
+def test_batch_norm_buffers_not_parameters():
+    layer = BatchNorm1d(4)
+    names = {name for name, _ in layer.named_parameters()}
+    assert names == {"gamma", "beta"}

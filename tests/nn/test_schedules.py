@@ -1,0 +1,98 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    ScheduledOptimizer,
+    Tensor,
+    constant_schedule,
+    cosine_decay,
+    step_decay,
+    warmup,
+)
+
+
+def test_constant_schedule():
+    schedule = constant_schedule()
+    assert schedule(0) == schedule(100) == 1.0
+
+
+def test_step_decay_halves():
+    schedule = step_decay(step_size=10, gamma=0.5)
+    assert schedule(0) == 1.0
+    assert schedule(9) == 1.0
+    assert schedule(10) == 0.5
+    assert schedule(25) == 0.25
+
+
+def test_step_decay_validation():
+    with pytest.raises(ValueError):
+        step_decay(0)
+    with pytest.raises(ValueError):
+        step_decay(5, gamma=0.0)
+
+
+def test_cosine_decay_endpoints():
+    schedule = cosine_decay(total_epochs=20, floor=0.1)
+    assert schedule(0) == pytest.approx(1.0)
+    assert schedule(20) == pytest.approx(0.1)
+    assert schedule(100) == pytest.approx(0.1)  # clamped past the horizon
+    assert schedule(10) == pytest.approx(0.55)  # midpoint
+
+
+def test_cosine_decay_monotone():
+    schedule = cosine_decay(total_epochs=30)
+    values = [schedule(epoch) for epoch in range(31)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_cosine_validation():
+    with pytest.raises(ValueError):
+        cosine_decay(0)
+    with pytest.raises(ValueError):
+        cosine_decay(10, floor=2.0)
+
+
+def test_warmup_ramps_linearly():
+    schedule = warmup(constant_schedule(), warmup_epochs=4)
+    assert schedule(0) == pytest.approx(0.25)
+    assert schedule(3) == pytest.approx(1.0)
+    assert schedule(10) == 1.0
+
+
+def test_warmup_validation():
+    with pytest.raises(ValueError):
+        warmup(constant_schedule(), -1)
+
+
+def test_scheduled_optimizer_updates_lr():
+    param = Tensor(np.zeros(2), requires_grad=True)
+    optimizer = SGD([param], lr=0.1)
+    scheduled = ScheduledOptimizer(optimizer, step_decay(1, gamma=0.5))
+    assert scheduled.current_lr == pytest.approx(0.1)
+    scheduled.advance_epoch()
+    assert scheduled.current_lr == pytest.approx(0.05)
+    scheduled.advance_epoch()
+    assert scheduled.current_lr == pytest.approx(0.025)
+
+
+def test_scheduled_optimizer_steps_with_current_lr():
+    param = Tensor(np.array([1.0]), requires_grad=True)
+    optimizer = SGD([param], lr=1.0)
+    scheduled = ScheduledOptimizer(optimizer, step_decay(1, gamma=0.1))
+    scheduled.advance_epoch()  # lr now 0.1
+    param.grad = np.array([1.0])
+    scheduled.step()
+    assert param.data[0] == pytest.approx(0.9)
+    scheduled.zero_grad()
+    assert param.grad is None
+
+
+def test_scheduled_optimizer_requires_lr_attribute():
+    class NoLr:
+        pass
+
+    with pytest.raises(TypeError):
+        ScheduledOptimizer(NoLr(), constant_schedule())

@@ -1,0 +1,109 @@
+"""Hypothesis property tests for the autodiff engine.
+
+These check algebraic identities that must hold for *any* input —
+linearity of the gradient, broadcasting consistency, and agreement between
+equivalent expression forms — complementing the pointwise finite-difference
+checks in ``test_tensor.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+
+SMALL_FLOATS = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=max_side),
+        elements=SMALL_FLOATS,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays())
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays(), scale=SMALL_FLOATS)
+def test_gradient_linearity(data, scale):
+    """d(scale * sum) = scale * d(sum)."""
+    x = Tensor(data.copy(), requires_grad=True)
+    (x * scale).sum().backward()
+    assert np.allclose(x.grad, scale * np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays())
+def test_add_self_doubles_gradient(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    (x + x).sum().backward()
+    assert np.allclose(x.grad, 2.0 * np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays())
+def test_forward_matches_numpy(data):
+    x = Tensor(data.copy())
+    assert np.allclose(x.tanh().data, np.tanh(data))
+    assert np.allclose(x.relu().data, np.maximum(data, 0.0))
+    assert np.allclose(x.abs().data, np.abs(data))
+    assert np.allclose(x.exp().data, np.exp(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays())
+def test_mean_equals_sum_over_size(data):
+    x_mean = Tensor(data.copy(), requires_grad=True)
+    x_mean.mean().backward()
+    x_sum = Tensor(data.copy(), requires_grad=True)
+    (x_sum.sum() * (1.0 / data.size)).backward()
+    assert np.allclose(x_mean.grad, x_sum.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    inner=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 999),
+)
+def test_matmul_gradient_shapes(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+    b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+    # d(sum(AB))/dA = 1 B^T and symmetric for B.
+    assert np.allclose(a.grad, np.ones((rows, cols)) @ b.data.T)
+    assert np.allclose(b.grad, a.data.T @ np.ones((rows, cols)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=small_arrays(), seed=st.integers(0, 999))
+def test_broadcast_gradient_shape_matches_leaf(data, seed):
+    rng = np.random.default_rng(seed)
+    scalar = Tensor(np.array(rng.normal()), requires_grad=True)
+    x = Tensor(data.copy(), requires_grad=True)
+    (x * scalar).sum().backward()
+    assert scalar.grad.shape == scalar.shape
+    assert np.allclose(scalar.grad, data.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=small_arrays())
+def test_sub_is_add_neg(data):
+    a = Tensor(data.copy(), requires_grad=True)
+    b = Tensor(data.copy() + 1.0, requires_grad=True)
+    (a - b).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, -1.0)

@@ -1,0 +1,57 @@
+"""Tests for the MIMO virtual antenna array."""
+
+import numpy as np
+import pytest
+
+from repro.radar import AntennaArray
+
+
+def test_virtual_count():
+    assert AntennaArray(num_tx=4, num_rx=4).num_virtual == 16
+    assert AntennaArray(num_tx=1, num_rx=3).num_virtual == 3
+
+
+def test_rx_spacing_is_half_wavelength():
+    array = AntennaArray(num_tx=2, num_rx=4)
+    rx = array.rx_positions()
+    spacing = np.diff(rx[:, 0])
+    assert np.allclose(spacing, array.wavelength_m / 2.0)
+
+
+def test_virtual_array_is_uniform_ula():
+    array = AntennaArray(num_tx=3, num_rx=4)
+    virtual = array.virtual_positions()
+    xs = np.sort(virtual[:, 0])
+    spacing = np.diff(xs)
+    # TX pitch = num_rx * d and RX pitch = d combine into a gapless ULA
+    # whose midpoint pitch is d / 2 (quarter wavelength).
+    assert np.allclose(spacing, array.element_spacing_m / 2.0, atol=1e-12)
+    assert len(xs) == 12
+
+
+def test_arrays_centered_at_origin():
+    array = AntennaArray(num_tx=2, num_rx=4)
+    assert np.allclose(array.tx_positions().mean(axis=0), array.phase_center())
+    assert np.allclose(array.rx_positions().mean(axis=0), array.phase_center())
+
+
+def test_height_offsets_z():
+    array = AntennaArray(height_m=0.8)
+    assert np.allclose(array.virtual_positions()[:, 2], 0.8)
+    assert np.allclose(array.phase_center(), [0.0, 0.0, 0.8])
+
+
+def test_pair_index_layout():
+    array = AntennaArray(num_tx=2, num_rx=4)
+    assert array.pair_index(0, 0) == 0
+    assert array.pair_index(1, 0) == 4
+    assert array.pair_index(1, 3) == 7
+    with pytest.raises(IndexError):
+        array.pair_index(2, 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AntennaArray(num_tx=0)
+    with pytest.raises(ValueError):
+        AntennaArray(wavelength_m=0.0)

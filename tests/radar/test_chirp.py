@@ -1,0 +1,61 @@
+"""Tests for FMCW chirp configuration math."""
+
+import numpy as np
+import pytest
+
+from repro.radar import SPEED_OF_LIGHT, ChirpConfig
+
+
+def test_default_band_is_77ghz():
+    chirp = ChirpConfig()
+    assert chirp.start_frequency_hz == pytest.approx(77e9)
+    assert chirp.wavelength_m == pytest.approx(SPEED_OF_LIGHT / 77e9)
+
+
+def test_slope_is_bandwidth_over_ramp():
+    chirp = ChirpConfig(bandwidth_hz=4e9, ramp_duration_s=20e-6)
+    assert chirp.slope_hz_per_s == pytest.approx(2e14)
+
+
+def test_range_resolution_formula():
+    chirp = ChirpConfig(bandwidth_hz=3.84e9)
+    assert chirp.range_resolution_m == pytest.approx(SPEED_OF_LIGHT / (2 * 3.84e9))
+
+
+def test_max_range_scales_with_samples():
+    base = ChirpConfig(num_adc_samples=64)
+    doubled = ChirpConfig(num_adc_samples=128, ramp_duration_s=40e-6)
+    assert doubled.max_range_m == pytest.approx(2 * base.max_range_m)
+
+
+def test_doppler_resolution_and_span():
+    chirp = ChirpConfig(num_chirps=16, chirp_repetition_s=250e-6)
+    assert chirp.doppler_resolution_mps == pytest.approx(
+        chirp.wavelength_m / (2 * 16 * 250e-6)
+    )
+    assert chirp.max_velocity_mps == pytest.approx(chirp.wavelength_m / (4 * 250e-6))
+
+
+def test_beat_frequency_roundtrip():
+    chirp = ChirpConfig()
+    r = 1.3
+    beat = chirp.beat_frequency_for_range(r)
+    # Beat frequency maps back to the same range bin.
+    bin_index = chirp.range_bin_for(r)
+    assert bin_index == pytest.approx(round(beat / (chirp.sample_rate_hz / chirp.num_adc_samples)), abs=1)
+
+
+def test_fast_time_axis_shape_and_spacing():
+    chirp = ChirpConfig(num_adc_samples=32)
+    axis = chirp.fast_time_axis()
+    assert axis.shape == (32,)
+    assert np.allclose(np.diff(axis), 1.0 / chirp.sample_rate_hz)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        ChirpConfig(bandwidth_hz=0.0)
+    with pytest.raises(ValueError):
+        ChirpConfig(num_adc_samples=1)
+    with pytest.raises(ValueError):
+        ChirpConfig(chirp_repetition_s=1e-6, ramp_duration_s=20e-6)

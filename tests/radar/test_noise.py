@@ -1,0 +1,48 @@
+"""Tests for thermal noise injection and environment clutter."""
+
+import numpy as np
+import pytest
+
+from repro.radar import add_thermal_noise, random_environment
+
+
+def test_noise_power_matches_snr(rng):
+    signal = np.full((8, 16, 4), 1.0 + 0.0j, dtype=np.complex64)
+    noisy = add_thermal_noise(signal, snr_db=10.0, rng=rng)
+    noise = noisy - signal
+    measured_snr = 10.0 * np.log10(
+        np.mean(np.abs(signal) ** 2) / np.mean(np.abs(noise) ** 2)
+    )
+    assert measured_snr == pytest.approx(10.0, abs=1.0)
+
+
+def test_noise_scales_with_snr(rng):
+    signal = np.full((8, 16, 4), 1.0 + 0.0j, dtype=np.complex64)
+    low = add_thermal_noise(signal, snr_db=0.0, rng=np.random.default_rng(0)) - signal
+    high = add_thermal_noise(signal, snr_db=20.0, rng=np.random.default_rng(0)) - signal
+    assert np.abs(low).mean() > 5.0 * np.abs(high).mean()
+
+
+def test_zero_signal_stays_zero(rng):
+    signal = np.zeros((4, 4, 2), dtype=np.complex64)
+    noisy = add_thermal_noise(signal, snr_db=10.0, rng=rng)
+    assert np.abs(noisy).max() == 0.0
+
+
+def test_random_environment_structure(rng):
+    env = random_environment(rng, num_objects=3)
+    assert env.num_faces == 3 * 12  # three boxes
+    # All clutter sits in front of the radar (positive y) and inside the span.
+    centroids = env.face_centroids()
+    assert centroids[:, 1].min() > 0.5
+
+
+def test_random_environment_validation(rng):
+    with pytest.raises(ValueError):
+        random_environment(rng, num_objects=0)
+
+
+def test_environments_differ_by_seed():
+    env_a = random_environment(np.random.default_rng(1))
+    env_b = random_environment(np.random.default_rng(2))
+    assert not np.allclose(env_a.vertices, env_b.vertices)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_every_paper_experiment_registered():
+    expected = {
+        "fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "table1", "sec6d", "sec7",
+        "spectral",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig99"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run", "fig7"])
+    assert args.preset == "fast"
+    assert args.seed == 0
+    assert not args.no_cache
+
+
+def test_run_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_executes_experiment_end_to_end(capsys, monkeypatch, tmp_path):
+    """`repro run sec6d` at a micro preset exercises the full CLI path."""
+    import repro.cli as cli
+    from repro.eval import FAST
+
+    from .conftest import make_micro_generation_config
+
+    micro = FAST.scaled(
+        generation=make_micro_generation_config(),
+        num_frames=8,
+        samples_per_class=4,
+        attacker_samples_per_class=4,
+        epochs=1,
+        repetitions=1,
+        shap_samples=24,
+        poisoned_frame_counts=(2, 4),
+    )
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setattr(cli, "preset_by_name", lambda name: micro)
+    assert cli.main(["run", "sec6d", "--preset", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "sec6d" in out
+    assert "IF simulation" in out
+    assert "done in" in out

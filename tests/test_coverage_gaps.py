@@ -1,0 +1,145 @@
+"""Tests for paths the per-module suites leave untouched."""
+
+import numpy as np
+import pytest
+
+from repro.attack import TRIGGER_2X2, BackdoorConfig, run_single_attack
+from repro.attack.placement import PlacementConfig
+from repro.datasets import AttackScenario, SampleGenerator
+from repro.models import CNNLSTMClassifier, Trainer, TrainingConfig
+from repro.nn import Linear, Module, Sequential, Tensor
+from repro.radar import HeatmapConfig
+from repro.xai import ShapConfig
+
+from .conftest import MICRO_MODEL_CONFIG, make_micro_generation_config
+
+
+# ----------------------------------------------------------------------
+# nn.Module traversal corners
+# ----------------------------------------------------------------------
+def test_modules_traverses_lists(rng):
+    class Holder(Module):
+        def __init__(self):
+            super().__init__()
+            self.pieces = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        def forward(self, x):
+            return x
+
+    holder = Holder()
+    modules = list(holder.modules())
+    assert len(modules) == 3  # holder + two linears
+    names = [name for name, _ in holder.named_parameters()]
+    assert "pieces.0.weight" in names and "pieces.1.bias" in names
+
+
+def test_empty_module_dtype_default():
+    class Empty(Module):
+        def forward(self, x):
+            return x
+
+    assert Empty().dtype == np.float64
+
+
+def test_nested_sequential(rng):
+    inner = Sequential(Linear(2, 2, rng))
+    outer = Sequential(inner, Linear(2, 3, rng))
+    out = outer(Tensor(np.zeros((1, 2))))
+    assert out.shape == (1, 3)
+    assert len(list(outer.named_parameters())) == 4
+
+
+# ----------------------------------------------------------------------
+# heatmap config corners
+# ----------------------------------------------------------------------
+def test_heatmap_finalize_without_compression(micro_generator):
+    from dataclasses import replace
+
+    config = replace(micro_generator.config.heatmap, log_scale=0.0)
+    sample_cubes = micro_generator.generate_sample(
+        "push", 1.0, 0.0, return_cubes=True
+    )
+    from repro.radar import drai_sequence
+
+    heatmaps = drai_sequence(sample_cubes, config)
+    assert heatmaps.max() == pytest.approx(1.0)  # plain peak normalization
+
+
+def test_chirp_range_bin_rounds():
+    from repro.radar import ChirpConfig
+
+    chirp = ChirpConfig()
+    resolution = chirp.range_resolution_m
+    assert chirp.range_bin_for(resolution * 10.4) == 10
+    assert chirp.range_bin_for(resolution * 10.6) == 11
+
+
+# ----------------------------------------------------------------------
+# generation with several participants
+# ----------------------------------------------------------------------
+def test_generation_multiple_participants():
+    from dataclasses import replace
+
+    config = replace(
+        make_micro_generation_config(), participants=(0.9, 1.0, 1.1)
+    )
+    generator = SampleGenerator(config, seed=4)
+    dataset = generator.generate_dataset(samples_per_class=4)
+    participants = {meta.participant for meta in dataset.meta}
+    assert participants <= {0, 1, 2}
+    assert len(participants) >= 2  # randomization actually mixes people
+
+
+# ----------------------------------------------------------------------
+# consensus with ties
+# ----------------------------------------------------------------------
+def test_consensus_top_k_with_ties():
+    from repro.xai import FrameImportanceResult
+
+    shap_values = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    tops = np.array([[0, 1], [1, 2]])
+    result = FrameImportanceResult(shap_values=shap_values, top_frames=tops, k=2)
+    consensus = result.consensus_top_k()
+    assert 1 in consensus  # the frame both samples agree on always wins
+
+
+# ----------------------------------------------------------------------
+# end-to-end convenience wrapper
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_run_single_attack_wrapper():
+    config = make_micro_generation_config()
+    attacker_gen = SampleGenerator(config, seed=21, environment_seed=5)
+    attack_gen = SampleGenerator(config, seed=22, environment_seed=6)
+    train_gen = SampleGenerator(config, seed=20, environment_seed=5)
+    dataset = train_gen.generate_dataset(samples_per_class=4)
+    clean_train, clean_test = dataset.split(0.7, np.random.default_rng(0))
+    training = TrainingConfig(epochs=2, validation_fraction=0.0, seed=0)
+    surrogate = CNNLSTMClassifier(MICRO_MODEL_CONFIG, np.random.default_rng(1))
+    attacker_data = attacker_gen.generate_dataset(samples_per_class=3)
+    Trainer(training).fit(surrogate, attacker_data.x, attacker_data.y)
+
+    result = run_single_attack(
+        surrogate,
+        attacker_gen,
+        attack_gen,
+        clean_train,
+        clean_test,
+        BackdoorConfig(
+            scenario=AttackScenario("push", "pull", similar=True),
+            trigger=TRIGGER_2X2,
+            num_poisoned_frames=2,
+            shap=ShapConfig(num_samples=24, seed=0),
+            placement=PlacementConfig(grid_nx=1, grid_nz=1),
+            num_shap_samples=1,
+            planning_position=(1.0, 0.0),
+        ),
+        MICRO_MODEL_CONFIG,
+        training,
+        num_attack_samples=3,
+        seed=5,
+    )
+    assert result.num_poisoned >= 1
+    assert result.plan.attachment_name
+    assert 0.0 <= result.metrics.asr <= 1.0
+    assert result.model.predict(clean_test.x).shape == (len(clean_test),)

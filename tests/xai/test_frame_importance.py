@@ -1,0 +1,79 @@
+"""Tests for top-k frame selection and importance aggregation (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.xai import FrameImportanceAnalyzer, FrameImportanceResult, ShapConfig, top_k_frames
+
+
+def test_top_k_orders_by_value():
+    values = np.array([0.1, 0.9, -0.3, 0.5])
+    assert top_k_frames(values, 2).tolist() == [1, 3]
+    assert top_k_frames(values, 4).tolist() == [1, 3, 0, 2]
+
+
+def test_top_k_validation():
+    with pytest.raises(ValueError):
+        top_k_frames(np.zeros((2, 3)), 1)
+    with pytest.raises(ValueError):
+        top_k_frames(np.zeros(4), 0)
+    with pytest.raises(ValueError):
+        top_k_frames(np.zeros(4), 5)
+
+
+def make_result():
+    shap_values = np.array(
+        [
+            [0.1, 0.9, 0.2, 0.0],
+            [0.0, 0.8, 0.3, 0.1],
+            [0.5, 0.7, 0.1, 0.0],
+        ]
+    )
+    tops = np.stack([top_k_frames(v, 2) for v in shap_values])
+    return FrameImportanceResult(shap_values=shap_values, top_frames=tops, k=2)
+
+
+def test_most_important_histogram():
+    result = make_result()
+    histogram = result.most_important_histogram()
+    assert histogram.tolist() == [0, 3, 0, 0]
+    assert histogram.sum() == 3
+
+
+def test_mean_importance():
+    result = make_result()
+    assert np.allclose(result.mean_importance(), [0.2, 0.8, 0.2, 1 / 30], atol=0.05)
+
+
+def test_consensus_top_k():
+    result = make_result()
+    consensus = result.consensus_top_k()
+    assert len(consensus) == 2
+    assert consensus[0] == 1  # frame 1 tops every sample
+
+
+def test_analyzer_end_to_end(trained_micro_model, micro_dataset):
+    analyzer = FrameImportanceAnalyzer(
+        trained_micro_model, ShapConfig(num_samples=64, seed=0)
+    )
+    subset = micro_dataset.subset(np.arange(3))
+    result = analyzer.analyze(subset.x, labels=subset.y, k=3)
+    assert result.shap_values.shape == (3, micro_dataset.num_frames)
+    assert result.top_frames.shape == (3, 3)
+    # top frames are valid indices and unique per sample
+    for row in result.top_frames:
+        assert len(set(row.tolist())) == 3
+        assert row.max() < micro_dataset.num_frames
+
+
+def test_analyzer_method_validation(trained_micro_model):
+    with pytest.raises(ValueError):
+        FrameImportanceAnalyzer(trained_micro_model, method="gradient")
+
+
+def test_analyzer_accepts_single_sample(trained_micro_model, micro_dataset):
+    analyzer = FrameImportanceAnalyzer(
+        trained_micro_model, ShapConfig(num_samples=32, seed=0), method="permutation"
+    )
+    result = analyzer.analyze(micro_dataset.x[0], k=2)
+    assert result.shap_values.shape == (1, micro_dataset.num_frames)

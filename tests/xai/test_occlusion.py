@@ -1,0 +1,71 @@
+"""Tests for the leave-one-out occlusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models import CNNLSTMClassifier
+from repro.xai import (
+    PermutationShapExplainer,
+    ShapConfig,
+    occlusion_importance,
+    occlusion_shap_agreement,
+)
+
+
+@pytest.fixture(scope="module")
+def model(micro_model_config):
+    return CNNLSTMClassifier(micro_model_config, np.random.default_rng(6))
+
+
+def test_occlusion_shapes_and_validation(model):
+    features = np.random.default_rng(0).random((8, model.config.feature_dim))
+    values = occlusion_importance(model, features, class_index=1)
+    assert values.shape == (8,)
+    with pytest.raises(ValueError):
+        occlusion_importance(model, features[None], class_index=1)
+    with pytest.raises(ValueError):
+        occlusion_importance(model, features, baseline="median")
+
+
+def test_null_frame_scores_zero(model):
+    features = np.random.default_rng(1).random((6, model.config.feature_dim))
+    features[3] = 0.0  # identical to the zeros fill: occluding it is a no-op
+    values = occlusion_importance(model, features, class_index=0)
+    assert values[3] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_default_class_is_prediction(model):
+    features = np.random.default_rng(2).random((6, model.config.feature_dim))
+    predicted = int(model.classify_feature_series(features[None])[0].argmax())
+    assert np.allclose(
+        occlusion_importance(model, features),
+        occlusion_importance(model, features, class_index=predicted),
+    )
+
+
+def test_mean_baseline_differs_from_zeros(model):
+    features = np.random.default_rng(3).random((6, model.config.feature_dim))
+    zeros = occlusion_importance(model, features, class_index=0, baseline="zeros")
+    mean = occlusion_importance(model, features, class_index=0, baseline="mean")
+    assert not np.allclose(zeros, mean)
+
+
+def test_occlusion_correlates_with_shap(model):
+    """On a smooth model the two importance notions broadly agree."""
+    features = np.random.default_rng(4).random((8, model.config.feature_dim))
+    occlusion = occlusion_importance(model, features, class_index=2)
+    shap = PermutationShapExplainer(
+        model, ShapConfig(num_samples=800, seed=0)
+    ).explain(features, class_index=2)
+    assert np.corrcoef(occlusion, shap)[0, 1] > 0.5
+
+
+def test_agreement_metric():
+    a = np.array([3.0, 2.0, 1.0, 0.0])
+    b = np.array([3.0, 2.0, 0.0, 1.0])
+    assert occlusion_shap_agreement(a, b, k=2) == 1.0
+    assert occlusion_shap_agreement(a, b, k=3) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        occlusion_shap_agreement(a, b[:3], k=2)
+    with pytest.raises(ValueError):
+        occlusion_shap_agreement(a, b, k=0)

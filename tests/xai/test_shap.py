@@ -1,0 +1,101 @@
+"""Tests for the Shapley-value estimators (Eq. 1).
+
+Correctness anchors: the efficiency axiom (values sum to f(all) -
+f(empty)), symmetry on a hand-built model with known structure, and
+agreement between the kernel and permutation estimators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import CNNLSTMClassifier
+from repro.xai import KernelShapExplainer, PermutationShapExplainer, ShapConfig
+from repro.xai.shap import _FrameValueFunction, _shapley_kernel_weights
+
+
+@pytest.fixture(scope="module")
+def model(micro_model_config):
+    return CNNLSTMClassifier(micro_model_config, np.random.default_rng(4))
+
+
+@pytest.fixture(scope="module")
+def features(model, rng=None):
+    return np.random.default_rng(7).random((8, model.config.feature_dim))
+
+
+def test_shap_config_validation():
+    with pytest.raises(ValueError):
+        ShapConfig(num_samples=2)
+    with pytest.raises(ValueError):
+        ShapConfig(baseline="median")
+
+
+def test_kernel_weights_symmetry():
+    weights = _shapley_kernel_weights(10, np.arange(1, 10))
+    assert np.allclose(weights, weights[::-1])  # pi(s) == pi(M - s)
+    assert weights[0] == weights.max()  # extremes weighted most
+
+
+def test_value_function_masks(model, features):
+    value = _FrameValueFunction(model, features, class_index=0,
+                                baseline="zeros", batch_size=64)
+    full = value(np.ones((1, 8), dtype=bool))[0]
+    direct = model.classify_feature_series(features[None])[0, 0]
+    assert full == pytest.approx(direct, abs=1e-5)
+
+
+def test_value_function_mean_baseline(model, features):
+    value = _FrameValueFunction(model, features, class_index=0,
+                                baseline="mean", batch_size=64)
+    empty = value(np.zeros((1, 8), dtype=bool))[0]
+    mean_series = np.broadcast_to(features.mean(0), features.shape)
+    expected = model.classify_feature_series(mean_series[None])[0, 0]
+    assert empty == pytest.approx(expected, abs=1e-5)
+
+
+@pytest.mark.parametrize("explainer_cls", [KernelShapExplainer, PermutationShapExplainer])
+def test_efficiency_axiom(model, features, explainer_cls):
+    explainer = explainer_cls(model, ShapConfig(num_samples=256, seed=1))
+    phi = explainer.explain(features, class_index=2)
+    full = model.classify_feature_series(features[None])[0, 2]
+    empty = model.classify_feature_series(np.zeros_like(features)[None])[0, 2]
+    assert phi.sum() == pytest.approx(full - empty, abs=1e-4)
+
+
+def test_estimators_agree(model, features):
+    kernel = KernelShapExplainer(model, ShapConfig(num_samples=400, seed=0))
+    permutation = PermutationShapExplainer(model, ShapConfig(num_samples=800, seed=0))
+    phi_k = kernel.explain(features, class_index=1)
+    phi_p = permutation.explain(features, class_index=1)
+    correlation = np.corrcoef(phi_k, phi_p)[0, 1]
+    assert correlation > 0.9
+
+
+def test_default_class_is_prediction(model, features):
+    explainer = KernelShapExplainer(model, ShapConfig(num_samples=64, seed=0))
+    predicted = int(model.classify_feature_series(features[None])[0].argmax())
+    phi_default = explainer.explain(features)
+    phi_explicit = explainer.explain(features, class_index=predicted)
+    assert np.allclose(phi_default, phi_explicit)
+
+
+def test_null_frame_gets_null_value(model):
+    """A frame identical to the baseline contributes exactly nothing."""
+    features = np.random.default_rng(3).random((6, model.config.feature_dim))
+    features[2] = 0.0  # identical to the zeros baseline in every coalition
+    explainer = PermutationShapExplainer(model, ShapConfig(num_samples=600, seed=2))
+    phi = explainer.explain(features, class_index=0)
+    assert phi[2] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_shap_is_seed_deterministic(model, features):
+    config = ShapConfig(num_samples=128, seed=42)
+    a = KernelShapExplainer(model, config).explain(features, class_index=0)
+    b = KernelShapExplainer(model, config).explain(features, class_index=0)
+    assert np.allclose(a, b)
+
+
+def test_rejects_bad_feature_shape(model):
+    explainer = KernelShapExplainer(model, ShapConfig(num_samples=64))
+    with pytest.raises(ValueError):
+        explainer.explain(np.zeros((2, 8, 12)), class_index=0)
