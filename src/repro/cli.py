@@ -5,18 +5,26 @@ Examples::
     python -m repro list
     python -m repro run fig7 --preset fast
     python -m repro run fig8 --preset default --seed 1
-    python -m repro run all --preset fast
+    python -m repro -v run all --preset fast --report sweep-report.txt
 
 Each experiment prints the same rows/series the corresponding paper figure
 shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
+
+``run all`` executes every experiment under an isolation boundary: one
+failure is recorded in the failure report (outcome, wall time, traceback)
+and the sweep continues; the exit code turns non-zero only after the full
+sweep.  ``--verbose``/``--quiet`` control the pipeline's structured logs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+import traceback
 from typing import Callable
+
+from .runtime.logging import configure_logging, get_logger
+from .runtime.runner import run_experiments
 
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
 from .eval import (
@@ -125,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce experiments from 'Physical Backdoor Attacks "
         "against mmWave-based Human Activity Recognition' (ICDCS 2025).",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more pipeline logs (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log pipeline errors",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
@@ -136,11 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk dataset cache")
+    run.add_argument("--report", metavar="PATH", default=None,
+                     help="also write the sweep failure report to PATH")
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
+    log = get_logger("cli")
     if args.command == "list":
         width = max(len(key) for key in EXPERIMENTS)
         for key, (description, _) in EXPERIMENTS.items():
@@ -151,14 +171,36 @@ def main(argv: "list[str] | None" = None) -> int:
     context = ExperimentContext(
         preset, seed=args.seed, use_disk_cache=not args.no_cache
     )
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    sweep = args.experiment == "all"
+    names = list(EXPERIMENTS) if sweep else [args.experiment]
+    jobs = []
     for name in names:
         description, runner = EXPERIMENTS[name]
-        print(f"=== {name}: {description} (preset {preset.name}) ===")
-        start = time.perf_counter()
-        print(runner(context))
-        print(f"--- {name} done in {time.perf_counter() - start:.1f}s ---\n")
-    return 0
+        jobs.append((
+            name,
+            f"{description} (preset {preset.name})",
+            lambda runner=runner: runner(context),
+        ))
+
+    if not sweep:
+        if args.report:
+            log.warning("--report only applies to 'run all'; ignoring")
+        # A single experiment keeps the traditional fail-fast contract.
+        try:
+            run_experiments(jobs, isolate=False)
+        except Exception:  # noqa: BLE001 - CLI boundary
+            log.error("experiment %s failed", args.experiment)
+            traceback.print_exc()
+            return 1
+        return 0
+
+    report = run_experiments(jobs, isolate=True)
+    print(report.format())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.format() + "\n")
+        log.info("failure report written to %s", args.report)
+    return 0 if report.all_ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

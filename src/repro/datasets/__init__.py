@@ -18,10 +18,12 @@ from .activities import (
     training_positions,
 )
 from .cache import (
+    CACHE_SCHEMA_VERSION,
     cache_key,
     cached_dataset,
     default_cache_dir,
     load_dataset,
+    quarantine_cache_file,
     save_dataset,
 )
 from .dataset import HeatmapDataset, SampleMeta, concat_datasets
@@ -29,6 +31,7 @@ from .generation import PARTICIPANT_STATURES, GenerationConfig, SampleGenerator
 
 __all__ = [
     "ACTIVITY_DISPLAY_NAMES",
+    "CACHE_SCHEMA_VERSION",
     "ACTIVITY_NAMES",
     "ACTIVITY_LABELS",
     "AttackScenario",
@@ -51,6 +54,7 @@ __all__ = [
     "concat_datasets",
     "default_cache_dir",
     "load_dataset",
+    "quarantine_cache_file",
     "save_dataset",
     "similar_scenario",
     "training_positions",

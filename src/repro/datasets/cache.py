@@ -1,8 +1,21 @@
-"""Disk caching of generated datasets as ``.npz`` archives.
+"""Disk caching of generated datasets as versioned, checksummed ``.npz``.
 
 Simulated data collection is the slowest pipeline stage, so experiments
 cache datasets keyed by their generation parameters and reuse them across
-benchmark runs.
+benchmark runs.  Because hours of simulator time ride on these archives,
+the cache defends itself:
+
+* **Atomic writes** — archives are written to a temp file in the cache
+  directory and ``os.replace``d into place, so an interrupted run can
+  never leave a truncated ``.npz`` at the final path.
+* **Schema version + checksum** — every archive embeds a header with
+  :data:`CACHE_SCHEMA_VERSION` and a SHA-256 digest of the payload;
+  :func:`load_dataset` rejects stale versions and bit rot as
+  :class:`~repro.runtime.errors.CacheCorruptionError` instead of the
+  opaque ``zipfile.BadZipFile`` downstream crash.
+* **Quarantine + regenerate** — :func:`cached_dataset` moves unusable
+  archives aside (``*.quarantined``) and transparently rebuilds, so a
+  corrupt cache costs one regeneration, never a dead campaign.
 """
 
 from __future__ import annotations
@@ -10,11 +23,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
+from ..runtime.errors import CacheCorruptionError
+from ..runtime.guards import all_finite
+from ..runtime.logging import get_logger
 from .dataset import HeatmapDataset, SampleMeta
+
+_log = get_logger("datasets.cache")
+
+#: Bump when the on-disk archive layout changes; loaders refuse other
+#: versions so stale archives regenerate instead of half-deserializing.
+CACHE_SCHEMA_VERSION = 2
 
 _META_FIELDS = (
     "activity",
@@ -26,9 +52,34 @@ _META_FIELDS = (
 )
 
 
-def save_dataset(dataset: HeatmapDataset, path: "str | os.PathLike") -> None:
-    """Write a dataset (including per-sample metadata) to ``path``."""
+def _normalize_archive_path(path: "str | os.PathLike") -> Path:
+    """Canonical archive path with the ``.npz`` suffix always present.
+
+    ``np.savez_compressed`` silently appends ``.npz`` to suffix-less
+    paths, which used to desync ``save_dataset``/``load_dataset`` pairs;
+    normalizing both ends keeps them pointed at the same file.
+    """
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _payload_checksum(x: np.ndarray, y: np.ndarray, meta_json: str) -> str:
+    """SHA-256 over the payload arrays and metadata blob."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(x).tobytes())
+    digest.update(np.ascontiguousarray(y).tobytes())
+    digest.update(meta_json.encode())
+    return digest.hexdigest()
+
+
+def save_dataset(dataset: HeatmapDataset, path: "str | os.PathLike") -> Path:
+    """Atomically write a dataset (with metadata + integrity header).
+
+    Returns the normalized archive path actually written.
+    """
+    path = _normalize_archive_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     meta_json = json.dumps(
         [
@@ -36,19 +87,113 @@ def save_dataset(dataset: HeatmapDataset, path: "str | os.PathLike") -> None:
             for m in dataset.meta
         ]
     )
-    np.savez_compressed(
-        path, x=dataset.x, y=dataset.y, meta=np.frombuffer(meta_json.encode(), dtype=np.uint8)
+    header = json.dumps(
+        {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "checksum": _payload_checksum(dataset.x, dataset.y, meta_json),
+        }
     )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                x=dataset.x,
+                y=dataset.y,
+                meta=np.frombuffer(meta_json.encode(), dtype=np.uint8),
+                header=np.frombuffer(header.encode(), dtype=np.uint8),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def load_dataset(path: "str | os.PathLike") -> HeatmapDataset:
-    """Read a dataset written by :func:`save_dataset`."""
-    with np.load(Path(path)) as archive:
-        x = archive["x"]
-        y = archive["y"]
-        meta_json = bytes(archive["meta"]).decode()
-    meta = [SampleMeta(**entry) for entry in json.loads(meta_json)]
+    """Read a dataset written by :func:`save_dataset`, verifying integrity.
+
+    Raises :class:`CacheCorruptionError` for every unusable-archive mode —
+    truncation, bit flips, empty files, missing keys, stale schema
+    versions, checksum mismatches, and non-finite payloads — so callers
+    have a single recovery path.
+    """
+    path = _normalize_archive_path(path)
+    try:
+        with np.load(path) as archive:
+            keys = set(archive.files)
+            missing = {"x", "y", "meta", "header"} - keys
+            if missing:
+                raise CacheCorruptionError(
+                    path, f"missing archive keys {sorted(missing)}"
+                )
+            x = archive["x"]
+            y = archive["y"]
+            meta_json = bytes(archive["meta"]).decode()
+            header_json = bytes(archive["header"]).decode()
+    except CacheCorruptionError:
+        raise
+    except FileNotFoundError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,  # flipped bytes inside a member's deflate stream
+        struct.error,  # mangled npy header fields
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+    ) as exc:
+        raise CacheCorruptionError(path, f"unreadable archive ({exc})") from exc
+
+    try:
+        header = json.loads(header_json)
+        meta_entries = json.loads(meta_json)
+    except json.JSONDecodeError as exc:
+        raise CacheCorruptionError(path, f"undecodable metadata ({exc})") from exc
+
+    version = header.get("schema_version")
+    if version != CACHE_SCHEMA_VERSION:
+        raise CacheCorruptionError(
+            path,
+            f"schema version {version!r} != expected {CACHE_SCHEMA_VERSION}",
+        )
+    checksum = _payload_checksum(x, y, meta_json)
+    if checksum != header.get("checksum"):
+        raise CacheCorruptionError(path, "payload checksum mismatch")
+    if not all_finite(x):
+        raise CacheCorruptionError(path, "payload contains NaN/Inf heatmaps")
+
+    meta = [SampleMeta(**entry) for entry in meta_entries]
     return HeatmapDataset(x, y, meta)
+
+
+def quarantine_cache_file(path: "str | os.PathLike") -> "Path | None":
+    """Move an unusable archive aside for post-mortem; never raises.
+
+    Returns the quarantine path (``<name>.quarantined``, with a numeric
+    suffix if occupied), or ``None`` when the file vanished already.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    target = path.with_name(path.name + ".quarantined")
+    counter = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.quarantined.{counter}")
+        counter += 1
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
 
 
 def cache_key(params: dict) -> str:
@@ -69,12 +214,24 @@ def cached_dataset(params: dict, builder, cache_dir: "Path | None" = None) -> He
     """Load the dataset for ``params`` from cache, or build and store it.
 
     ``builder`` is a zero-argument callable producing the dataset when the
-    cache misses.
+    cache misses.  A corrupt or stale archive is quarantined and the
+    dataset transparently regenerated — a cache problem never propagates
+    to experiment code.
     """
     directory = cache_dir or default_cache_dir()
     path = directory / f"dataset-{cache_key(params)}.npz"
     if path.exists():
-        return load_dataset(path)
+        try:
+            return load_dataset(path)
+        except CacheCorruptionError as exc:
+            quarantined = quarantine_cache_file(path)
+            _log.warning(
+                "quarantined corrupt cache archive path=%s reason=%s "
+                "quarantine=%s",
+                path,
+                exc.reason,
+                quarantined,
+            )
     dataset = builder()
     save_dataset(dataset, path)
     return dataset

@@ -9,6 +9,7 @@ environment clutter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..geometry.transforms import RigidTransform, subject_placement
 from ..radar.heatmap import HeatmapConfig, drai_sequence
 from ..radar.noise import add_thermal_noise, random_environment
 from ..radar.simulator import FmcwRadarSimulator, RadarConfig
+from ..runtime.guards import ensure_finite
 from .activities import TRAINING_ANGLES_DEG, TRAINING_DISTANCES_M, activity_label
 from .dataset import HeatmapDataset, SampleMeta
 
@@ -59,6 +61,30 @@ class GenerationConfig:
             raise ValueError("need at least 2 frames")
         if not self.distances_m or not self.angles_deg:
             raise ValueError("need at least one distance and one angle")
+        if any(d <= 0.0 for d in self.distances_m):
+            raise ValueError(f"distances must be positive, got {self.distances_m}")
+        if not math.isfinite(self.snr_db):
+            raise ValueError(f"snr_db must be finite, got {self.snr_db}")
+        if self.environment_objects < 0:
+            raise ValueError(
+                f"environment_objects must be >= 0, got {self.environment_objects}"
+            )
+        if not self.participants:
+            raise ValueError("need at least one participant stature")
+        if any(stature <= 0.0 for stature in self.participants):
+            raise ValueError(
+                f"participant statures must be positive, got {self.participants}"
+            )
+        if self.sway_amplitude_m < 0.0 or self.breathing_amplitude_m < 0.0:
+            raise ValueError(
+                "sway/breathing amplitudes must be >= 0, got "
+                f"{self.sway_amplitude_m}/{self.breathing_amplitude_m}"
+            )
+        if self.sway_frequency_hz < 0.0 or self.breathing_frequency_hz < 0.0:
+            raise ValueError(
+                "sway/breathing frequencies must be >= 0, got "
+                f"{self.sway_frequency_hz}/{self.breathing_frequency_hz}"
+            )
 
 
 class SampleGenerator:
@@ -192,9 +218,15 @@ class SampleGenerator:
             meshes, extra_facets=self._environment_facets or None
         )
         cubes = add_thermal_noise(cubes, self.config.snr_db, self.rng)
+        # Simulator -> heatmap boundary guard: an unstable kernel must fail
+        # here, not as garbage training data three stages later.
+        ensure_finite(cubes, f"simulated IF cubes for {activity!r}")
         if return_cubes:
             return cubes
-        return drai_sequence(cubes, self.config.heatmap)
+        return ensure_finite(
+            drai_sequence(cubes, self.config.heatmap),
+            f"DRAI heatmaps for {activity!r}",
+        )
 
     def generate_paired_sample(
         self,
@@ -239,6 +271,8 @@ class SampleGenerator:
             ).astype(np.complex64)
             clean_cubes = clean_cubes + noise
             triggered_cubes = triggered_cubes + noise
+        ensure_finite(clean_cubes, f"simulated IF cubes for {activity!r}")
+        ensure_finite(triggered_cubes, f"triggered IF cubes for {activity!r}")
         return (
             drai_sequence(clean_cubes, self.config.heatmap),
             drai_sequence(triggered_cubes, self.config.heatmap),

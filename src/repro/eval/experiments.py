@@ -55,6 +55,8 @@ from ..models.metrics import (
 )
 from ..models.trainer import Trainer
 from ..radar.heatmap import heatmap_deviation
+from ..runtime.guards import ensure_finite
+from ..runtime.logging import get_logger
 from ..xai.frame_importance import FrameImportanceAnalyzer
 from .presets import DEFAULT, ExperimentPreset
 
@@ -62,6 +64,8 @@ from .presets import DEFAULT, ExperimentPreset
 #: in the "classroom" (paper Section VI-C cross-environment setup).
 TRAIN_ENVIRONMENT_SEED = 100
 ATTACK_ENVIRONMENT_SEED = 200
+
+_log = get_logger("eval.experiments")
 
 
 class ExperimentContext:
@@ -133,11 +137,20 @@ class ExperimentContext:
         generator = getattr(self, f"{generator_name}_generator")
 
         def build() -> HeatmapDataset:
+            _log.info(
+                "generating dataset kind=%s samples_per_class=%d preset=%s",
+                generator_name, samples_per_class, self.preset.name,
+            )
             return generator.generate_dataset(samples_per_class=samples_per_class)
 
         if self.use_disk_cache:
-            return cached_dataset(params, build)
-        return build()
+            dataset = cached_dataset(params, build)
+        else:
+            dataset = build()
+        # Guard the cache-load path too: heatmaps must be finite before
+        # they reach training or evaluation.
+        ensure_finite(dataset.x, f"{generator_name} dataset heatmaps")
+        return dataset
 
     @property
     def clean_train(self) -> HeatmapDataset:

@@ -77,6 +77,37 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> "dict[str, np.ndarray]":
+        """Moments + step count, keyed by parameter position, for
+        checkpointing (an un-restored optimizer restarts Adam cold, which
+        changes the trajectory after a resume)."""
+        state = {"step": np.array(self._step_count)}
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{index}"] = m
+            state[f"v.{index}"] = v
+        return state
+
+    def load_state_dict(self, state: "dict[str, np.ndarray]") -> None:
+        """Restore :meth:`state_dict`; parameter order must match."""
+        expected = {"step"} | {
+            f"{kind}.{i}" for kind in ("m", "v") for i in range(len(self.parameters))
+        }
+        if set(state) != expected:
+            raise ValueError(
+                "optimizer state does not match this parameter list "
+                f"(got {len(state)} entries, expected {len(expected)})"
+            )
+        self._step_count = int(state["step"])
+        for index, param in enumerate(self.parameters):
+            for kind, slot in (("m", self._m), ("v", self._v)):
+                entry = np.asarray(state[f"{kind}.{index}"])
+                if entry.shape != param.data.shape:
+                    raise ValueError(
+                        f"optimizer state {kind}.{index} has shape {entry.shape}, "
+                        f"parameter has {param.data.shape}"
+                    )
+                slot[index][...] = entry
+
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count

@@ -1,23 +1,59 @@
-"""Model checkpoint save/load as ``.npz`` archives."""
+"""Model checkpoint save/load as ``.npz`` archives.
+
+Checkpoints are written atomically (temp file + ``os.replace``) so a crash
+mid-save can never leave a truncated archive where the trainer's
+resume path expects a valid one.
+"""
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
 from .layers import Module
 
 
+def _normalize(path: str | os.PathLike) -> str:
+    """Match numpy's convention of appending ``.npz`` to suffix-less paths,
+    so save/load pairs agree on the file name."""
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_arrays(arrays: dict, path: str | os.PathLike) -> None:
+    """Atomically write a ``name -> ndarray`` mapping to an ``.npz`` file."""
+    path = _normalize(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            # npz keys cannot contain '/' reliably across loaders; '.' is fine.
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_arrays(path: str | os.PathLike) -> dict:
+    """Read back a mapping written by :func:`save_arrays`."""
+    with np.load(_normalize(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
 def save_checkpoint(module: Module, path: str | os.PathLike) -> None:
-    """Write a module's ``state_dict`` to an ``.npz`` file."""
-    state = module.state_dict()
-    # npz keys cannot contain '/' reliably across loaders; '.' is fine.
-    np.savez_compressed(os.fspath(path), **state)
+    """Atomically write a module's ``state_dict`` to an ``.npz`` file."""
+    save_arrays(module.state_dict(), path)
 
 
 def load_checkpoint(module: Module, path: str | os.PathLike) -> None:
     """Load a checkpoint written by :func:`save_checkpoint` into ``module``."""
-    with np.load(os.fspath(path)) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_arrays(path))

@@ -1,0 +1,37 @@
+"""Cross-cutting runtime services: errors, logging, guards, faults, runner.
+
+This package owns the pipeline's failure-handling contract.  Stage code
+raises :class:`ReproError` subclasses, guards catch NaN/Inf at stage
+boundaries, the isolating runner keeps ``run all`` sweeps alive past
+individual failures, and :mod:`repro.runtime.faults` injects each failure
+mode deterministically so tests can prove recovery works.
+"""
+
+from .errors import (
+    CacheCorruptionError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TrainingDivergenceError,
+)
+from .guards import all_finite, count_nonfinite, ensure_finite
+from .logging import configure_logging, get_logger, level_for_verbosity, log_event
+from .runner import ExperimentOutcome, FailureReport, run_experiments
+
+__all__ = [
+    "CacheCorruptionError",
+    "ExperimentError",
+    "ExperimentOutcome",
+    "FailureReport",
+    "ReproError",
+    "SimulationError",
+    "TrainingDivergenceError",
+    "all_finite",
+    "configure_logging",
+    "count_nonfinite",
+    "ensure_finite",
+    "get_logger",
+    "level_for_verbosity",
+    "log_event",
+    "run_experiments",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy of the fault-tolerant experiment pipeline.
+
+Every failure the pipeline knows how to recover from is raised as a
+:class:`ReproError` subclass, so recovery code can catch the whole family
+(or one branch of it) without accidentally swallowing programming errors
+like ``TypeError``.
+
+The hierarchy mirrors the pipeline stages::
+
+    ReproError
+    ├── CacheCorruptionError      dataset cache archive unusable
+    ├── SimulationError           simulator produced non-finite output
+    ├── TrainingDivergenceError   NaN/Inf loss during Trainer.fit
+    └── ExperimentError           one experiment of a sweep failed
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all recoverable pipeline failures."""
+
+
+class CacheCorruptionError(ReproError):
+    """A cached dataset archive is truncated, corrupt, or stale.
+
+    Raised by :func:`repro.datasets.cache.load_dataset`;
+    :func:`repro.datasets.cache.cached_dataset` catches it, quarantines the
+    archive, and regenerates the dataset.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"corrupt cache archive {path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class SimulationError(ReproError):
+    """The RF simulator emitted non-finite (NaN/Inf) output."""
+
+
+class TrainingDivergenceError(ReproError):
+    """Training loss became NaN/Inf (``nan_policy="raise"``)."""
+
+    def __init__(self, epoch: int, loss: float):
+        super().__init__(
+            f"training diverged at epoch {epoch}: loss={loss!r}"
+        )
+        self.epoch = epoch
+        self.loss = loss
+
+
+class ExperimentError(ReproError):
+    """One experiment of a sweep failed; carries the original cause."""
+
+    def __init__(self, name: str, cause: BaseException):
+        super().__init__(f"experiment {name!r} failed: {cause!r}")
+        self.name = name
+        self.cause = cause

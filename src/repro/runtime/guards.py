@@ -1,0 +1,49 @@
+"""Numeric guards at pipeline stage boundaries.
+
+Simulator output, cached heatmaps, and training inputs all cross stage
+boundaries as big float arrays; one NaN introduced early silently poisons
+everything downstream (a model trained on NaN heatmaps converges to NaN
+weights without crashing).  These helpers fail loudly at the boundary
+instead, raising the stage-appropriate :class:`~repro.runtime.errors.ReproError`
+subclass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ReproError, SimulationError
+
+
+def count_nonfinite(array: np.ndarray) -> int:
+    """Number of NaN/Inf entries in ``array`` (0 for non-float dtypes)."""
+    array = np.asarray(array)
+    if not np.issubdtype(array.dtype, np.floating) and not np.issubdtype(
+        array.dtype, np.complexfloating
+    ):
+        return 0
+    return int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+
+
+def ensure_finite(
+    array: np.ndarray,
+    name: str,
+    error: "type[ReproError]" = SimulationError,
+) -> np.ndarray:
+    """Return ``array`` unchanged, or raise ``error`` if it has NaN/Inf.
+
+    The message reports how many entries are non-finite and out of how
+    many, which distinguishes a single poisoned pixel from a fully dead
+    array when debugging a failure report.
+    """
+    bad = count_nonfinite(array)
+    if bad:
+        raise error(
+            f"{name} contains {bad}/{np.size(array)} non-finite values"
+        )
+    return array
+
+
+def all_finite(array: np.ndarray) -> bool:
+    """True when ``array`` has no NaN/Inf entries."""
+    return count_nonfinite(array) == 0

@@ -1,0 +1,71 @@
+"""Structured, leveled logging for the experiment pipeline.
+
+A thin layer over :mod:`logging`: every pipeline module asks for a child of
+the ``repro`` root logger via :func:`get_logger`, and the CLI maps
+``--verbose``/``--quiet`` onto :func:`configure_logging`.  Messages carry
+optional ``key=value`` fields appended in a stable order so log lines stay
+grep-able::
+
+    [repro.datasets.cache] WARNING quarantined corrupt archive path=... reason=truncated
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+_FORMAT = "[%(name)s] %(levelname)s %(message)s"
+_configured = False
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child of it (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` root logger.
+
+    ``verbosity`` maps CLI flags to levels: ``-1`` (``--quiet``) shows only
+    errors, ``0`` warnings (the default), ``1`` (``-v``) info, and ``>=2``
+    (``-vv``) debug.  Idempotent: reconfiguring replaces the handler rather
+    than stacking duplicates.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(level_for_verbosity(verbosity))
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def level_for_verbosity(verbosity: int) -> int:
+    """CLI verbosity counter -> :mod:`logging` level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def format_fields(**fields) -> str:
+    """Render ``key=value`` pairs in insertion order for log messages."""
+    return " ".join(f"{key}={value}" for key, value in fields.items())
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields) -> None:
+    """Log ``event`` with structured ``key=value`` fields appended."""
+    suffix = format_fields(**fields)
+    logger.log(level, f"{event} {suffix}" if suffix else event)

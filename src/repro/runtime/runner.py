@@ -1,0 +1,121 @@
+"""Isolating experiment runner with a structured failure report.
+
+``python -m repro run all`` used to abort the whole campaign on the first
+experiment exception — hours of simulator work lost to one bad figure.
+:func:`run_experiments` instead executes each experiment under its own
+try/except boundary, records per-experiment outcome, wall time, and the
+full traceback, continues past failures, and lets the CLI exit non-zero
+only after the full sweep.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import ExperimentError
+from .logging import get_logger
+
+_log = get_logger("runtime.runner")
+
+
+@dataclass
+class ExperimentOutcome:
+    """What happened to one experiment of a sweep."""
+
+    name: str
+    description: str
+    ok: bool
+    wall_time_s: float
+    error: str = ""
+    traceback: str = ""
+
+
+@dataclass
+class FailureReport:
+    """Aggregated outcomes of a full sweep."""
+
+    outcomes: "list[ExperimentOutcome]" = field(default_factory=list)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(not outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failed(self) -> "list[ExperimentOutcome]":
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return self.num_failed == 0
+
+    def format(self) -> str:
+        """Human-readable sweep summary with tracebacks of the failures."""
+        lines = [
+            f"sweep summary: {len(self.outcomes) - self.num_failed}/"
+            f"{len(self.outcomes)} experiments succeeded"
+        ]
+        for outcome in self.outcomes:
+            status = "ok    " if outcome.ok else "FAILED"
+            lines.append(
+                f"  {status} {outcome.name:<8} {outcome.wall_time_s:7.1f}s"
+                + (f"  {outcome.error}" if outcome.error else "")
+            )
+        for outcome in self.failed:
+            lines.append("")
+            lines.append(f"--- traceback: {outcome.name} ---")
+            lines.append(outcome.traceback.rstrip())
+        return "\n".join(lines)
+
+
+def run_experiments(
+    experiments: "list[tuple[str, str, Callable[[], str]]]",
+    emit: "Callable[[str], None]" = print,
+    isolate: bool = True,
+) -> FailureReport:
+    """Run ``(name, description, thunk)`` experiments, isolating failures.
+
+    Each thunk's returned string is passed to ``emit`` (stdout by
+    default).  With ``isolate=False`` the first failure re-raises as
+    :class:`ExperimentError` — the behavior single-experiment runs want.
+    """
+    report = FailureReport()
+    for name, description, thunk in experiments:
+        emit(f"=== {name}: {description} ===")
+        start = time.perf_counter()
+        try:
+            emit(thunk())
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            elapsed = time.perf_counter() - start
+            report.outcomes.append(
+                ExperimentOutcome(
+                    name=name,
+                    description=description,
+                    ok=False,
+                    wall_time_s=elapsed,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                )
+            )
+            _log.log(
+                logging.ERROR,
+                f"experiment failed name={name} error={type(exc).__name__}",
+            )
+            emit(f"--- {name} FAILED after {elapsed:.1f}s: "
+                 f"{type(exc).__name__}: {exc} ---\n")
+            if not isolate:
+                raise ExperimentError(name, exc) from exc
+            continue
+        elapsed = time.perf_counter() - start
+        report.outcomes.append(
+            ExperimentOutcome(
+                name=name, description=description, ok=True, wall_time_s=elapsed
+            )
+        )
+        emit(f"--- {name} done in {elapsed:.1f}s ---\n")
+    return report

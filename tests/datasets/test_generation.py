@@ -107,3 +107,32 @@ def test_return_cubes_shape(micro_generator, micro_generation_config):
     radar = micro_generation_config.radar
     assert cubes.shape == (micro_generation_config.num_frames, *radar.cube_shape)
     assert np.iscomplexobj(cubes)
+
+
+def test_generation_config_rejects_bad_numeric_fields():
+    import dataclasses
+
+    import pytest
+
+    from repro.datasets import GenerationConfig
+
+    bad = [
+        {"snr_db": float("nan")},
+        {"environment_objects": -1},
+        {"participants": ()},
+        {"participants": (1.0, -0.5)},
+        {"participants": (0.0,)},
+        {"sway_amplitude_m": -0.001},
+        {"breathing_amplitude_m": -0.001},
+        {"sway_frequency_hz": -0.1},
+        {"breathing_frequency_hz": -0.1},
+        {"distances_m": (1.0, -0.5)},
+    ]
+    for overrides in bad:
+        with pytest.raises(ValueError):
+            GenerationConfig(**overrides)
+    # zero amplitudes stay legal: the sway ablation sweeps down to 0.0
+    config = dataclasses.replace(
+        GenerationConfig(), sway_amplitude_m=0.0, breathing_amplitude_m=0.0
+    )
+    assert config.sway_amplitude_m == 0.0

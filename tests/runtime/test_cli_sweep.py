@@ -1,0 +1,78 @@
+"""`run all` isolation at the CLI level: one failing experiment must not
+kill the sweep, and the failure report must name it with its traceback."""
+
+import pytest
+
+import repro.cli as cli
+from repro.runtime.faults import failing_experiment
+
+
+@pytest.fixture()
+def stub_experiments(monkeypatch):
+    """Replace the real experiment registry with three instant stubs."""
+    executed = []
+
+    def make_runner(name):
+        def runner(ctx):
+            executed.append(name)
+            return f"{name} rows"
+
+        return runner
+
+    registry = {
+        name: (f"{name} description", make_runner(name))
+        for name in ("stub1", "stub2", "stub3")
+    }
+    monkeypatch.setattr(cli, "EXPERIMENTS", registry)
+    return registry, executed
+
+
+def test_run_all_isolates_failures(stub_experiments, capsys):
+    registry, executed = stub_experiments
+    with failing_experiment(registry, "stub2", message="stub2 exploded"):
+        exit_code = cli.main(["run", "all"])
+    out = capsys.readouterr().out
+    assert exit_code == 1  # non-zero only after the full sweep
+    assert executed == ["stub1", "stub3"]  # the sweep continued past stub2
+    assert "stub1 rows" in out
+    assert "stub3 rows" in out
+    assert "2/3 experiments succeeded" in out
+    assert "FAILED stub2" in out
+    assert "stub2 exploded" in out
+    assert "Traceback" in out
+
+
+def test_run_all_clean_sweep_exits_zero(stub_experiments, capsys):
+    _, executed = stub_experiments
+    assert cli.main(["run", "all"]) == 0
+    assert executed == ["stub1", "stub2", "stub3"]
+    assert "3/3 experiments succeeded" in capsys.readouterr().out
+
+
+def test_run_all_writes_report_file(stub_experiments, tmp_path):
+    registry, _ = stub_experiments
+    report_path = tmp_path / "sweep.txt"
+    with failing_experiment(registry, "stub1"):
+        exit_code = cli.main(["run", "all", "--report", str(report_path)])
+    assert exit_code == 1
+    content = report_path.read_text()
+    assert "FAILED stub1" in content
+    assert "injected experiment fault" in content
+
+
+def test_single_failing_experiment_exits_nonzero(stub_experiments, capsys):
+    registry, _ = stub_experiments
+    with failing_experiment(registry, "stub2"):
+        assert cli.main(["run", "stub2"]) == 1
+    captured = capsys.readouterr()
+    assert "injected experiment fault" in captured.err
+
+
+def test_single_experiment_success_exits_zero(stub_experiments, capsys):
+    assert cli.main(["run", "stub3"]) == 0
+    assert "stub3 rows" in capsys.readouterr().out
+
+
+def test_verbosity_flags_parse(stub_experiments):
+    assert cli.main(["-v", "run", "stub1"]) == 0
+    assert cli.main(["-q", "run", "stub1"]) == 0

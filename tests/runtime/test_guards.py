@@ -1,0 +1,38 @@
+"""Numeric boundary guards."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import SimulationError
+from repro.runtime.guards import all_finite, count_nonfinite, ensure_finite
+
+
+def test_count_nonfinite_floats():
+    arr = np.array([1.0, np.nan, np.inf, -np.inf, 0.0])
+    assert count_nonfinite(arr) == 3
+
+
+def test_count_nonfinite_complex():
+    arr = np.array([1 + 1j, np.nan + 0j, 1j * np.inf])
+    assert count_nonfinite(arr) == 2
+
+
+def test_count_nonfinite_integer_arrays_are_always_finite():
+    assert count_nonfinite(np.arange(10)) == 0
+    assert all_finite(np.arange(10))
+
+
+def test_ensure_finite_passes_clean_arrays_through():
+    arr = np.ones((3, 3))
+    assert ensure_finite(arr, "clean") is arr
+
+
+def test_ensure_finite_raises_simulation_error_by_default():
+    arr = np.array([1.0, np.nan])
+    with pytest.raises(SimulationError, match="1/2 non-finite"):
+        ensure_finite(arr, "poisoned cubes")
+
+
+def test_ensure_finite_message_names_the_boundary():
+    with pytest.raises(SimulationError, match="poisoned cubes"):
+        ensure_finite(np.array([np.inf]), "poisoned cubes")

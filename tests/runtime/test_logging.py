@@ -1,0 +1,58 @@
+"""Structured logging configuration and helpers."""
+
+import io
+import logging
+
+from repro.runtime.logging import (
+    configure_logging,
+    format_fields,
+    get_logger,
+    level_for_verbosity,
+    log_event,
+)
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger().name == "repro"
+    assert get_logger("datasets.cache").name == "repro.datasets.cache"
+    assert get_logger("repro.models").name == "repro.models"
+
+
+def test_level_for_verbosity_mapping():
+    assert level_for_verbosity(-1) == logging.ERROR
+    assert level_for_verbosity(0) == logging.WARNING
+    assert level_for_verbosity(1) == logging.INFO
+    assert level_for_verbosity(2) == logging.DEBUG
+    assert level_for_verbosity(5) == logging.DEBUG
+
+
+def test_configure_logging_is_idempotent():
+    stream = io.StringIO()
+    root = configure_logging(0, stream=stream)
+    configure_logging(0, stream=stream)
+    configure_logging(0, stream=stream)
+    assert len(root.handlers) == 1
+
+
+def test_messages_respect_level_and_reach_stream():
+    stream = io.StringIO()
+    configure_logging(1, stream=stream)
+    log = get_logger("test.module")
+    log.debug("hidden at -v")
+    log.info("visible info")
+    log.warning("visible warning")
+    out = stream.getvalue()
+    assert "hidden at -v" not in out
+    assert "visible info" in out
+    assert "visible warning" in out
+    assert "[repro.test.module]" in out
+    configure_logging(0)  # restore default for other tests
+
+
+def test_log_event_appends_fields_in_order():
+    assert format_fields(path="/a", reason="x") == "path=/a reason=x"
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    log_event(get_logger("evt"), logging.WARNING, "quarantined", path="/a/b.npz")
+    assert "quarantined path=/a/b.npz" in stream.getvalue()
+    configure_logging(0)

@@ -1,0 +1,73 @@
+"""Isolating experiment runner and failure report."""
+
+import pytest
+
+from repro.runtime.errors import ExperimentError
+from repro.runtime.runner import run_experiments
+
+
+def _jobs(executed):
+    def ok_a():
+        executed.append("a")
+        return "result-a"
+
+    def bad():
+        executed.append("bad")
+        raise RuntimeError("injected failure")
+
+    def ok_b():
+        executed.append("b")
+        return "result-b"
+
+    return [
+        ("expa", "first experiment", ok_a),
+        ("expbad", "failing experiment", bad),
+        ("expb", "last experiment", ok_b),
+    ]
+
+
+def test_isolated_sweep_continues_past_failures():
+    executed = []
+    lines = []
+    report = run_experiments(_jobs(executed), emit=lines.append)
+    assert executed == ["a", "bad", "b"]  # everything ran despite the crash
+    assert [o.name for o in report.outcomes] == ["expa", "expbad", "expb"]
+    assert [o.ok for o in report.outcomes] == [True, False, True]
+    assert report.num_failed == 1
+    assert not report.all_ok
+
+
+def test_failure_report_names_failure_with_traceback():
+    report = run_experiments(_jobs([]), emit=lambda _: None)
+    failed = report.failed
+    assert len(failed) == 1
+    assert failed[0].name == "expbad"
+    assert "RuntimeError: injected failure" in failed[0].error
+    assert "Traceback" in failed[0].traceback
+    assert "injected failure" in failed[0].traceback
+    formatted = report.format()
+    assert "2/3 experiments succeeded" in formatted
+    assert "FAILED expbad" in formatted
+    assert "injected failure" in formatted
+
+
+def test_outcomes_record_wall_time():
+    report = run_experiments(_jobs([]), emit=lambda _: None)
+    assert all(o.wall_time_s >= 0.0 for o in report.outcomes)
+
+
+def test_unisolated_run_raises_experiment_error():
+    executed = []
+    with pytest.raises(ExperimentError) as excinfo:
+        run_experiments(_jobs(executed), emit=lambda _: None, isolate=False)
+    assert excinfo.value.name == "expbad"
+    assert isinstance(excinfo.value.cause, RuntimeError)
+    assert executed == ["a", "bad"]  # stopped at the failure
+
+
+def test_all_ok_report():
+    report = run_experiments(
+        [("one", "only", lambda: "fine")], emit=lambda _: None
+    )
+    assert report.all_ok
+    assert "1/1 experiments succeeded" in report.format()
