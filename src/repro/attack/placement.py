@@ -29,6 +29,7 @@ from ..geometry.human import BODY_ATTACHMENT_POINTS, BodyShape, HumanModel, Traj
 from ..geometry.transforms import subject_placement
 from ..models.cnn_lstm import CNNLSTMClassifier
 from ..radar.heatmap import drai_sequence
+from ..runtime.telemetry import metrics, span
 from .trigger import ReflectorTrigger
 
 
@@ -144,45 +145,55 @@ class TriggerPlacementOptimizer:
         style: TrajectoryStyle | None = None,
     ) -> PlacementResult:
         """Score every candidate position for every frame of one execution."""
-        generator = self.generator
-        simulator = generator.simulator
-        style = style or TrajectoryStyle()
-        bodies, transforms = generator.sample_scene(
-            activity, distance_m, angle_deg, stature, style
-        )
-        meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
-        base_cubes = simulator.simulate_sequence(
-            meshes, extra_facets=generator._environment_facets or None
-        )
-        heatmap_config = generator.config.heatmap
-        clean_heatmaps = drai_sequence(base_cubes, heatmap_config)
-        clean_features = self.surrogate.frame_features(clean_heatmaps)[0]
-
-        human = HumanModel(BodyShape(stature_scale=stature))
-        candidates, names = candidate_positions(human, self.config)
-
-        num_frames = len(base_cubes)
-        objective = np.zeros((len(candidates), num_frames))
-        feature_distance = np.zeros_like(objective)
-        heatmap_deviation = np.zeros_like(objective)
-
-        for c_index, position in enumerate(candidates):
-            trigger_local = self.trigger.mesh_at(position)
-            trigger_cubes = np.stack(
-                [
-                    simulator.frame_cube(trigger_local.transformed(tr))
-                    for tr in transforms
-                ]
+        with span("attack.placement.optimize", activity=activity) as _span:
+            generator = self.generator
+            simulator = generator.simulator
+            style = style or TrajectoryStyle()
+            bodies, transforms = generator.sample_scene(
+                activity, distance_m, angle_deg, stature, style
             )
-            poisoned = drai_sequence(base_cubes + trigger_cubes, heatmap_config)
-            poisoned_features = self.surrogate.frame_features(poisoned)[0]
-            d_feat = np.linalg.norm(poisoned_features - clean_features, axis=1)
-            d_heat = np.linalg.norm(
-                (poisoned - clean_heatmaps).reshape(num_frames, -1), axis=1
+            meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
+            base_cubes = simulator.simulate_sequence(
+                meshes, extra_facets=generator._environment_facets or None
             )
-            feature_distance[c_index] = d_feat
-            heatmap_deviation[c_index] = d_heat
-            objective[c_index] = self.config.alpha * d_feat - self.config.beta * d_heat
+            heatmap_config = generator.config.heatmap
+            clean_heatmaps = drai_sequence(base_cubes, heatmap_config)
+            clean_features = self.surrogate.frame_features(clean_heatmaps)[0]
+
+            human = HumanModel(BodyShape(stature_scale=stature))
+            candidates, names = candidate_positions(human, self.config)
+            _span.set(candidates=len(candidates))
+
+            num_frames = len(base_cubes)
+            objective = np.zeros((len(candidates), num_frames))
+            feature_distance = np.zeros_like(objective)
+            heatmap_deviation = np.zeros_like(objective)
+
+            for c_index, position in enumerate(candidates):
+                with span("attack.placement.candidate", candidate=names[c_index]):
+                    trigger_local = self.trigger.mesh_at(position)
+                    trigger_cubes = np.stack(
+                        [
+                            simulator.frame_cube(trigger_local.transformed(tr))
+                            for tr in transforms
+                        ]
+                    )
+                    poisoned = drai_sequence(
+                        base_cubes + trigger_cubes, heatmap_config
+                    )
+                    poisoned_features = self.surrogate.frame_features(poisoned)[0]
+                    d_feat = np.linalg.norm(
+                        poisoned_features - clean_features, axis=1
+                    )
+                    d_heat = np.linalg.norm(
+                        (poisoned - clean_heatmaps).reshape(num_frames, -1), axis=1
+                    )
+                    feature_distance[c_index] = d_feat
+                    heatmap_deviation[c_index] = d_heat
+                    objective[c_index] = (
+                        self.config.alpha * d_feat - self.config.beta * d_heat
+                    )
+            metrics().counter("attack.candidates_scored").inc(len(candidates))
 
         return PlacementResult(
             candidate_positions=candidates,

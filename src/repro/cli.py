@@ -6,6 +6,8 @@ Examples::
     python -m repro run fig7 --preset fast
     python -m repro run fig8 --preset default --seed 1
     python -m repro -v run all --preset fast --report sweep-report.txt
+    python -m repro run sec6d --trace trace.json --metrics metrics.jsonl
+    python -m repro stats
 
 Each experiment prints the same rows/series the corresponding paper figure
 shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -14,6 +16,12 @@ shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
 failure is recorded in the failure report (outcome, wall time, traceback)
 and the sweep continues; the exit code turns non-zero only after the full
 sweep.  ``--verbose``/``--quiet`` control the pipeline's structured logs.
+
+Every ``run`` enables span tracing and writes a run record (config, metric
+snapshot, span aggregates, outcome) under ``runs/`` — ``repro stats``
+pretty-prints the most recent one.  ``--trace`` additionally exports a
+Chrome-tracing JSON (load it in ``chrome://tracing`` or ui.perfetto.dev)
+and ``--metrics`` a JSONL snapshot of every counter/gauge/histogram.
 """
 
 from __future__ import annotations
@@ -21,10 +29,19 @@ from __future__ import annotations
 import argparse
 import sys
 import traceback
+from pathlib import Path
 from typing import Callable
 
 from .runtime.logging import configure_logging, get_logger
-from .runtime.runner import run_experiments
+from .runtime.records import (
+    RunRecord,
+    format_run_record,
+    latest_run_record_path,
+    load_run_record,
+    write_run_record,
+)
+from .runtime.runner import FailureReport, run_experiments
+from .runtime.telemetry import metrics, telemetry
 
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
 from .eval import (
@@ -141,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true",
         help="only log pipeline errors",
     )
+    parser.add_argument(
+        "--log-timestamps", action="store_true",
+        help="prefix log lines with wall-clock timestamps "
+        "(also via REPRO_LOG_TIMESTAMPS=1)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
@@ -154,17 +176,85 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the on-disk dataset cache")
     run.add_argument("--report", metavar="PATH", default=None,
                      help="also write the sweep failure report to PATH")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="export a Chrome-tracing JSON of all spans to PATH")
+    run.add_argument("--metrics", metavar="PATH", default=None,
+                     help="export a JSONL metrics snapshot to PATH")
+    run.add_argument("--runs-dir", metavar="DIR", default=None,
+                     help="directory for run records (default runs/, "
+                     "or REPRO_RUNS_DIR)")
+
+    stats = subparsers.add_parser(
+        "stats", help="pretty-print the most recent run record"
+    )
+    stats.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="directory holding run records")
     return parser
+
+
+def _finalize_run(
+    args: argparse.Namespace, outcome: dict, log
+) -> None:
+    """Export telemetry and persist the run record after a ``run``."""
+    tel = telemetry()
+    if args.trace:
+        path = tel.export_chrome_trace(args.trace)
+        log.info("chrome trace written to %s", path)
+    if args.metrics:
+        path = metrics().export_jsonl(args.metrics)
+        log.info("metrics snapshot written to %s", path)
+    record = RunRecord(
+        name=args.experiment,
+        config={
+            "experiment": args.experiment,
+            "preset": args.preset,
+            "seed": args.seed,
+            "use_disk_cache": not args.no_cache,
+        },
+        metrics=metrics().snapshot(),
+        spans=tel.aggregate(),
+        outcome=outcome,
+    )
+    path = write_run_record(record, Path(args.runs_dir) if args.runs_dir else None)
+    log.info("run record written to %s", path)
+
+
+def _report_outcome(report: FailureReport) -> dict:
+    """Run-record outcome payload for a (possibly single-entry) sweep."""
+    return {
+        "status": "ok" if report.all_ok else "failed",
+        "experiments": [
+            {
+                "name": outcome.name,
+                "ok": outcome.ok,
+                "wall_time_s": outcome.wall_time_s,
+                "error": outcome.error,
+            }
+            for outcome in report.outcomes
+        ],
+    }
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    configure_logging(-1 if args.quiet else args.verbose)
+    configure_logging(
+        -1 if args.quiet else args.verbose,
+        timestamps=True if args.log_timestamps else None,
+    )
     log = get_logger("cli")
     if args.command == "list":
         width = max(len(key) for key in EXPERIMENTS)
         for key, (description, _) in EXPERIMENTS.items():
             print(f"{key:<{width}}  {description}")
+        return 0
+
+    if args.command == "stats":
+        directory = Path(args.runs_dir) if args.runs_dir else None
+        path = latest_run_record_path(directory)
+        if path is None:
+            log.error("no run records found")
+            return 1
+        print(format_run_record(load_run_record(path)))
         return 0
 
     preset = preset_by_name(args.preset)
@@ -182,25 +272,42 @@ def main(argv: "list[str] | None" = None) -> int:
             lambda runner=runner: runner(context),
         ))
 
-    if not sweep:
-        if args.report:
-            log.warning("--report only applies to 'run all'; ignoring")
-        # A single experiment keeps the traditional fail-fast contract.
-        try:
-            run_experiments(jobs, isolate=False)
-        except Exception:  # noqa: BLE001 - CLI boundary
-            log.error("experiment %s failed", args.experiment)
-            traceback.print_exc()
-            return 1
-        return 0
+    tel = telemetry()
+    tel.reset()
+    tel.enable()
+    metrics().reset()
+    try:
+        if not sweep:
+            if args.report:
+                log.warning("--report only applies to 'run all'; ignoring")
+            # A single experiment keeps the traditional fail-fast contract.
+            try:
+                report = run_experiments(jobs, isolate=False)
+            except Exception as exc:  # noqa: BLE001 - CLI boundary
+                log.error("experiment %s failed", args.experiment)
+                traceback.print_exc()
+                _finalize_run(
+                    args,
+                    {
+                        "status": "failed",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                    log,
+                )
+                return 1
+            _finalize_run(args, _report_outcome(report), log)
+            return 0
 
-    report = run_experiments(jobs, isolate=True)
-    print(report.format())
-    if args.report:
-        with open(args.report, "w") as handle:
-            handle.write(report.format() + "\n")
-        log.info("failure report written to %s", args.report)
-    return 0 if report.all_ok else 1
+        report = run_experiments(jobs, isolate=True)
+        print(report.format())
+        if args.report:
+            with open(args.report, "w") as handle:
+                handle.write(report.format() + "\n")
+            log.info("failure report written to %s", args.report)
+        _finalize_run(args, _report_outcome(report), log)
+        return 0 if report.all_ok else 1
+    finally:
+        tel.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -34,6 +34,7 @@ import numpy as np
 from ..runtime.errors import CacheCorruptionError
 from ..runtime.guards import all_finite
 from ..runtime.logging import get_logger
+from ..runtime.telemetry import metrics, span
 from .dataset import HeatmapDataset, SampleMeta
 
 _log = get_logger("datasets.cache")
@@ -217,14 +218,23 @@ def cached_dataset(params: dict, builder, cache_dir: "Path | None" = None) -> He
     cache misses.  A corrupt or stale archive is quarantined and the
     dataset transparently regenerated — a cache problem never propagates
     to experiment code.
+
+    Every outcome is observable: hits, misses, and quarantines are logged
+    and counted through the metrics registry (``cache.hit``,
+    ``cache.miss``, ``cache.quarantine``).
     """
     directory = cache_dir or default_cache_dir()
     path = directory / f"dataset-{cache_key(params)}.npz"
     if path.exists():
         try:
-            return load_dataset(path)
+            with span("cache.load", path=str(path)):
+                dataset = load_dataset(path)
+            metrics().counter("cache.hit").inc()
+            _log.info("cache hit path=%s samples=%d", path, len(dataset))
+            return dataset
         except CacheCorruptionError as exc:
             quarantined = quarantine_cache_file(path)
+            metrics().counter("cache.quarantine").inc()
             _log.warning(
                 "quarantined corrupt cache archive path=%s reason=%s "
                 "quarantine=%s",
@@ -232,6 +242,9 @@ def cached_dataset(params: dict, builder, cache_dir: "Path | None" = None) -> He
                 exc.reason,
                 quarantined,
             )
+    metrics().counter("cache.miss").inc()
+    _log.info("cache miss path=%s", path)
     dataset = builder()
-    save_dataset(dataset, path)
+    with span("cache.save", path=str(path)):
+        save_dataset(dataset, path)
     return dataset

@@ -27,6 +27,7 @@ from ..radar.heatmap import HeatmapConfig, drai_sequence
 from ..radar.noise import add_thermal_noise, random_environment
 from ..radar.simulator import FmcwRadarSimulator, RadarConfig
 from ..runtime.guards import ensure_finite
+from ..runtime.telemetry import metrics, span
 from .activities import TRAINING_ANGLES_DEG, TRAINING_DISTANCES_M, activity_label
 from .dataset import HeatmapDataset, SampleMeta
 
@@ -211,22 +212,24 @@ class SampleGenerator:
         return_cubes: bool = False,
     ) -> np.ndarray:
         """One DRAI heatmap sequence ``(T, H, W)`` (or raw IF cubes)."""
-        meshes = self.sample_meshes(
-            activity, distance_m, angle_deg, stature, style, attachment_mesh
-        )
-        cubes = self.simulator.simulate_sequence(
-            meshes, extra_facets=self._environment_facets or None
-        )
-        cubes = add_thermal_noise(cubes, self.config.snr_db, self.rng)
-        # Simulator -> heatmap boundary guard: an unstable kernel must fail
-        # here, not as garbage training data three stages later.
-        ensure_finite(cubes, f"simulated IF cubes for {activity!r}")
-        if return_cubes:
-            return cubes
-        return ensure_finite(
-            drai_sequence(cubes, self.config.heatmap),
-            f"DRAI heatmaps for {activity!r}",
-        )
+        with span("dataset.generate_sample", activity=activity):
+            meshes = self.sample_meshes(
+                activity, distance_m, angle_deg, stature, style, attachment_mesh
+            )
+            cubes = self.simulator.simulate_sequence(
+                meshes, extra_facets=self._environment_facets or None
+            )
+            cubes = add_thermal_noise(cubes, self.config.snr_db, self.rng)
+            # Simulator -> heatmap boundary guard: an unstable kernel must fail
+            # here, not as garbage training data three stages later.
+            ensure_finite(cubes, f"simulated IF cubes for {activity!r}")
+            metrics().counter("dataset.samples_generated").inc()
+            if return_cubes:
+                return cubes
+            return ensure_finite(
+                drai_sequence(cubes, self.config.heatmap),
+                f"DRAI heatmaps for {activity!r}",
+            )
 
     def generate_paired_sample(
         self,
@@ -297,6 +300,24 @@ class SampleGenerator:
         """
         if samples_per_class < 1:
             raise ValueError("samples_per_class must be >= 1")
+        with span(
+            "dataset.generate",
+            samples_per_class=samples_per_class,
+            activities=len(activities),
+        ):
+            return self._generate_dataset(
+                samples_per_class, activities, attachment_mesh, attachment_name,
+                progress,
+            )
+
+    def _generate_dataset(
+        self,
+        samples_per_class: int,
+        activities: "tuple[str, ...]",
+        attachment_mesh: "TriangleMesh | None",
+        attachment_name: str,
+        progress: bool,
+    ) -> HeatmapDataset:
         positions = [
             (d, a) for d in self.config.distances_m for a in self.config.angles_deg
         ]

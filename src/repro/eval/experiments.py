@@ -12,7 +12,6 @@ plain result object that the benchmark harness prints with
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,6 +56,7 @@ from ..models.trainer import Trainer
 from ..radar.heatmap import heatmap_deviation
 from ..runtime.guards import ensure_finite
 from ..runtime.logging import get_logger
+from ..runtime.telemetry import span, telemetry
 from ..xai.frame_importance import FrameImportanceAnalyzer
 from .presets import DEFAULT, ExperimentPreset
 
@@ -143,13 +143,18 @@ class ExperimentContext:
             )
             return generator.generate_dataset(samples_per_class=samples_per_class)
 
-        if self.use_disk_cache:
-            dataset = cached_dataset(params, build)
-        else:
-            dataset = build()
-        # Guard the cache-load path too: heatmaps must be finite before
-        # they reach training or evaluation.
-        ensure_finite(dataset.x, f"{generator_name} dataset heatmaps")
+        with span(
+            "stage.dataset",
+            kind=generator_name,
+            samples_per_class=samples_per_class,
+        ):
+            if self.use_disk_cache:
+                dataset = cached_dataset(params, build)
+            else:
+                dataset = build()
+            # Guard the cache-load path too: heatmaps must be finite before
+            # they reach training or evaluation.
+            ensure_finite(dataset.x, f"{generator_name} dataset heatmaps")
         return dataset
 
     @property
@@ -182,13 +187,14 @@ class ExperimentContext:
     def surrogate(self) -> CNNLSTMClassifier:
         """The attacker's surrogate, trained once on attacker-side data."""
         if self._surrogate is None:
-            model = CNNLSTMClassifier(
-                self.preset.model_config(), np.random.default_rng(self.seed + 77)
-            )
             dataset = self.attacker_dataset
-            Trainer(self.preset.training_config(seed=self.seed)).fit(
-                model, dataset.x, dataset.y
-            )
+            with span("stage.surrogate_train", samples=len(dataset)):
+                model = CNNLSTMClassifier(
+                    self.preset.model_config(), np.random.default_rng(self.seed + 77)
+                )
+                Trainer(self.preset.training_config(seed=self.seed)).fit(
+                    model, dataset.x, dataset.y
+                )
             self._surrogate = model
         return self._surrogate
 
@@ -197,13 +203,14 @@ class ExperimentContext:
     ) -> CNNLSTMClassifier:
         """Phase 2: operator trains on clean (+ optionally poisoned) data."""
         train_set = self.clean_train
-        rng = np.random.default_rng(seed)
-        if poisoned is not None and len(poisoned):
-            train_set = inject_poison(train_set, poisoned, rng)
-        model = CNNLSTMClassifier(self.preset.model_config(), rng)
-        Trainer(self.preset.training_config(seed=seed)).fit(
-            model, train_set.x, train_set.y
-        )
+        with span("stage.train_victim", seed=seed):
+            rng = np.random.default_rng(seed)
+            if poisoned is not None and len(poisoned):
+                train_set = inject_poison(train_set, poisoned, rng)
+            model = CNNLSTMClassifier(self.preset.model_config(), rng)
+            Trainer(self.preset.training_config(seed=seed)).fit(
+                model, train_set.x, train_set.y
+            )
         return model
 
     # ------------------------------------------------------------------
@@ -225,17 +232,22 @@ class ExperimentContext:
             use_optimal_position,
         )
         if key not in self._plans:
-            config = BackdoorConfig(
-                scenario=scenario,
-                trigger=trigger,
-                num_poisoned_frames=num_poisoned_frames,
-                use_optimal_frames=use_optimal_frames,
-                use_optimal_position=use_optimal_position,
-                shap=self.preset.shap_config(seed=self.seed),
-                num_shap_samples=self.preset.num_shap_executions,
-            )
-            attack = BackdoorAttack(self.surrogate, self.attacker_generator, config)
-            self._plans[key] = attack.plan()
+            with span(
+                "stage.attack_plan", scenario=scenario.key, trigger=trigger.name
+            ):
+                config = BackdoorConfig(
+                    scenario=scenario,
+                    trigger=trigger,
+                    num_poisoned_frames=num_poisoned_frames,
+                    use_optimal_frames=use_optimal_frames,
+                    use_optimal_position=use_optimal_position,
+                    shap=self.preset.shap_config(seed=self.seed),
+                    num_shap_samples=self.preset.num_shap_executions,
+                )
+                attack = BackdoorAttack(
+                    self.surrogate, self.attacker_generator, config
+                )
+                self._plans[key] = attack.plan()
         return self._plans[key]
 
     def pair_pool(
@@ -247,14 +259,17 @@ class ExperimentContext:
     ) -> PairPool:
         key = (scenario.victim, trigger.name, plan.attachment_name, num_samples)
         if key not in self._pools:
-            self._pools[key] = build_pair_pool(
-                self.attacker_generator,
-                scenario.victim,
-                trigger,
-                plan.attachment_position,
-                num_samples,
-                attachment_name=plan.attachment_name,
-            )
+            with span(
+                "stage.pair_pool", victim=scenario.victim, samples=num_samples
+            ):
+                self._pools[key] = build_pair_pool(
+                    self.attacker_generator,
+                    scenario.victim,
+                    trigger,
+                    plan.attachment_position,
+                    num_samples,
+                    attachment_name=plan.attachment_name,
+                )
         return self._pools[key]
 
     def triggered_test(
@@ -265,17 +280,18 @@ class ExperimentContext:
     ) -> HeatmapDataset:
         key = (scenario.victim, trigger.name, plan.attachment_name)
         if key not in self._triggered_tests:
-            recipe = PoisonRecipe(
-                scenario=scenario,
-                trigger=trigger,
-                attachment_position=plan.attachment_position,
-                frame_indices=plan.frame_indices,
-                injection_rate=0.4,
-                attachment_name=plan.attachment_name,
-            )
-            self._triggered_tests[key] = build_triggered_test_set(
-                self.attack_generator, recipe, self.preset.num_attack_samples
-            )
+            with span("stage.triggered_test", victim=scenario.victim):
+                recipe = PoisonRecipe(
+                    scenario=scenario,
+                    trigger=trigger,
+                    attachment_position=plan.attachment_position,
+                    frame_indices=plan.frame_indices,
+                    injection_rate=0.4,
+                    attachment_name=plan.attachment_name,
+                )
+                self._triggered_tests[key] = build_triggered_test_set(
+                    self.attack_generator, recipe, self.preset.num_attack_samples
+                )
         return self._triggered_tests[key]
 
     def max_pool_size(self, scenario: AttackScenario) -> int:
@@ -308,17 +324,23 @@ class ExperimentContext:
         )
         triggered = self.triggered_test(scenario, trigger, plan)
         results = []
-        for rep in range(repetitions):
-            model = self.train_victim(poisoned, seed=self.seed + 1000 + rep)
-            results.append(
-                evaluate_attack(
-                    model.predict(triggered.x),
-                    triggered.y,
-                    scenario.target_label,
-                    model.predict(self.clean_test.x),
-                    self.clean_test.y,
+        with span(
+            "stage.attack_eval",
+            scenario=scenario.key,
+            injection_rate=injection_rate,
+            repetitions=repetitions,
+        ):
+            for rep in range(repetitions):
+                model = self.train_victim(poisoned, seed=self.seed + 1000 + rep)
+                results.append(
+                    evaluate_attack(
+                        model.predict(triggered.x),
+                        triggered.y,
+                        scenario.target_label,
+                        model.predict(self.clean_test.x),
+                        self.clean_test.y,
+                    )
                 )
-            )
         return mean_attack_metrics(results)
 
 
@@ -646,9 +668,12 @@ def run_simulator_throughput(ctx: ExperimentContext) -> ThroughputResult:
     generator = ctx.attack_generator
     meshes = generator.sample_meshes("push", 1.2, 0.0)
     simulator = generator.simulator
-    start = time.perf_counter()
-    simulator.simulate_sequence(meshes)
-    elapsed = time.perf_counter() - start
+    timer = telemetry().span(
+        "stage.simulator_throughput", force=True, frames=len(meshes)
+    )
+    with timer:
+        simulator.simulate_sequence(meshes)
+    elapsed = timer.duration_s
     num_virtual = simulator.config.antennas.num_virtual
     return ThroughputResult(
         seconds_per_pair_activity=elapsed / num_virtual,

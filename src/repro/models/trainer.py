@@ -33,7 +33,6 @@ import json
 import math
 import os
 import tempfile
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -49,6 +48,7 @@ from ..nn.serialization import (
 from ..runtime.errors import SimulationError, TrainingDivergenceError
 from ..runtime.guards import ensure_finite
 from ..runtime.logging import get_logger
+from ..runtime.telemetry import metrics, telemetry
 from .augmentation import AugmentationPolicy, augment_batch
 from .cnn_lstm import CNNLSTMClassifier
 from .metrics import accuracy
@@ -306,116 +306,136 @@ class Trainer:
             with np.load(checkpoint_dir / _BEST_CHECKPOINT) as archive:
                 best_state = {key: archive[key] for key in archive.files}
         restores_used = 0
-        start = time.perf_counter()
-        # Replay the shuffles of completed epochs so a resumed run sees the
-        # same batch order it would have without the interruption.
-        for _ in range(start_epoch):
-            rng.permutation(len(train_x))
+        # The fit span is the single wall-clock source for the run; forced
+        # so ``history.wall_time_s`` works with tracing disabled too.
+        fit_span = telemetry().span(
+            "train.fit", force=True, samples=len(train_x), epochs=config.epochs
+        )
+        with fit_span:
+            # Replay the shuffles of completed epochs so a resumed run sees
+            # the same batch order it would have without the interruption.
+            for _ in range(start_epoch):
+                rng.permutation(len(train_x))
 
-        for epoch in range(start_epoch, config.epochs):
-            model.train()
-            order = rng.permutation(len(train_x))
-            epoch_loss = 0.0
-            epoch_correct = 0
-            diverged = False
-            for begin in range(0, len(order), config.batch_size):
-                batch_idx = order[begin : begin + config.batch_size]
-                batch_data = train_x[batch_idx]
-                if config.augmentation is not None:
-                    batch_data = augment_batch(
-                        batch_data, config.augmentation, rng
-                    ).astype(train_x.dtype)
-                batch_x = Tensor(batch_data)
-                batch_y = train_y[batch_idx]
-                logits = model(batch_x)
-                loss = cross_entropy(logits, batch_y)
-                loss_value = loss.item()
-                if not math.isfinite(loss_value):
-                    diverged = True
-                    history.diverged_epochs.append(epoch)
-                    if config.nan_policy == "raise":
-                        raise TrainingDivergenceError(epoch, loss_value)
-                    break
-                optimizer.zero_grad()
-                loss.backward()
-                clip_grad_norm(model.parameters(), config.clip_norm)
-                optimizer.step()
-                epoch_loss += loss_value * len(batch_idx)
-                epoch_correct += int((logits.data.argmax(axis=1) == batch_y).sum())
+            for epoch in range(start_epoch, config.epochs):
+                model.train()
+                order = rng.permutation(len(train_x))
+                epoch_loss = 0.0
+                epoch_correct = 0
+                diverged = False
+                epoch_span = telemetry().span("train.epoch", force=True, epoch=epoch)
+                with epoch_span:
+                    for begin in range(0, len(order), config.batch_size):
+                        batch_idx = order[begin : begin + config.batch_size]
+                        batch_data = train_x[batch_idx]
+                        if config.augmentation is not None:
+                            batch_data = augment_batch(
+                                batch_data, config.augmentation, rng
+                            ).astype(train_x.dtype)
+                        batch_x = Tensor(batch_data)
+                        batch_y = train_y[batch_idx]
+                        logits = model(batch_x)
+                        loss = cross_entropy(logits, batch_y)
+                        loss_value = loss.item()
+                        if not math.isfinite(loss_value):
+                            diverged = True
+                            history.diverged_epochs.append(epoch)
+                            if config.nan_policy == "raise":
+                                raise TrainingDivergenceError(epoch, loss_value)
+                            break
+                        optimizer.zero_grad()
+                        loss.backward()
+                        grad_norm = clip_grad_norm(
+                            model.parameters(), config.clip_norm
+                        )
+                        metrics().histogram("trainer.grad_norm").observe(grad_norm)
+                        optimizer.step()
+                        epoch_loss += loss_value * len(batch_idx)
+                        epoch_correct += int(
+                            (logits.data.argmax(axis=1) == batch_y).sum()
+                        )
+                if not diverged:
+                    metrics().counter("trainer.samples_processed").inc(len(order))
+                    if epoch_span.duration_s > 0.0:
+                        metrics().gauge("trainer.samples_per_s").set(
+                            len(order) / epoch_span.duration_s
+                        )
 
-            if diverged:
-                model.load_state_dict(best_state)
-                if config.nan_policy == "abort":
+                if diverged:
+                    model.load_state_dict(best_state)
+                    if config.nan_policy == "abort":
+                        _log.warning(
+                            "loss diverged at epoch %d; aborting on best weights",
+                            epoch,
+                        )
+                        break
+                    restores_used += 1
                     _log.warning(
-                        "loss diverged at epoch %d; aborting on best weights", epoch
+                        "loss diverged at epoch %d; restored best checkpoint "
+                        "(restore %d/%d)",
+                        epoch,
+                        restores_used,
+                        config.max_divergence_restores,
                     )
+                    if restores_used > config.max_divergence_restores:
+                        _log.warning("divergence restore budget exhausted; stopping")
+                        break
+                    # Divergence usually means the Adam moments are poisoned
+                    # too; restart the optimizer alongside the weights.
+                    optimizer = Adam(
+                        model.parameters(),
+                        lr=config.learning_rate,
+                        weight_decay=config.weight_decay,
+                    )
+                    continue
+
+                history.train_loss.append(epoch_loss / len(train_x))
+                history.train_accuracy.append(epoch_correct / len(train_x))
+                metrics().gauge("trainer.epoch_loss").set(history.train_loss[-1])
+
+                if len(val_x):
+                    val_loss, val_acc = self.evaluate(model, val_x, val_y)
+                    history.val_loss.append(val_loss)
+                    history.val_accuracy.append(val_acc)
+                    monitored = val_loss
+                else:
+                    monitored = history.train_loss[-1]
+
+                if monitored < best_val - 1e-6:
+                    best_val = monitored
+                    best_state = model.state_dict()
+                    history.best_epoch = epoch
+                    stale_epochs = 0
+                    if checkpoint_dir is not None:
+                        checkpoint_dir.mkdir(parents=True, exist_ok=True)
+                        save_checkpoint(model, checkpoint_dir / _BEST_CHECKPOINT)
+                else:
+                    stale_epochs += 1
+                if checkpoint_dir is not None and (
+                    (epoch + 1) % config.checkpoint_every == 0
+                    or epoch == config.epochs - 1
+                ):
+                    self._save_checkpoint(
+                        checkpoint_dir, model, optimizer, epoch, best_val,
+                        stale_epochs, history,
+                    )
+                if config.verbose:  # pragma: no cover - console output
+                    val_msg = (
+                        f" val_loss={history.val_loss[-1]:.4f}"
+                        f" val_acc={history.val_accuracy[-1]:.3f}"
+                        if len(val_x)
+                        else ""
+                    )
+                    print(
+                        f"epoch {epoch + 1}/{config.epochs}"
+                        f" loss={history.train_loss[-1]:.4f}"
+                        f" acc={history.train_accuracy[-1]:.3f}{val_msg}"
+                    )
+                if stale_epochs > config.patience:
                     break
-                restores_used += 1
-                _log.warning(
-                    "loss diverged at epoch %d; restored best checkpoint "
-                    "(restore %d/%d)",
-                    epoch,
-                    restores_used,
-                    config.max_divergence_restores,
-                )
-                if restores_used > config.max_divergence_restores:
-                    _log.warning("divergence restore budget exhausted; stopping")
-                    break
-                # Divergence usually means the Adam moments are poisoned
-                # too; restart the optimizer alongside the weights.
-                optimizer = Adam(
-                    model.parameters(),
-                    lr=config.learning_rate,
-                    weight_decay=config.weight_decay,
-                )
-                continue
 
-            history.train_loss.append(epoch_loss / len(train_x))
-            history.train_accuracy.append(epoch_correct / len(train_x))
-
-            if len(val_x):
-                val_loss, val_acc = self.evaluate(model, val_x, val_y)
-                history.val_loss.append(val_loss)
-                history.val_accuracy.append(val_acc)
-                monitored = val_loss
-            else:
-                monitored = history.train_loss[-1]
-
-            if monitored < best_val - 1e-6:
-                best_val = monitored
-                best_state = model.state_dict()
-                history.best_epoch = epoch
-                stale_epochs = 0
-                if checkpoint_dir is not None:
-                    checkpoint_dir.mkdir(parents=True, exist_ok=True)
-                    save_checkpoint(model, checkpoint_dir / _BEST_CHECKPOINT)
-            else:
-                stale_epochs += 1
-            if checkpoint_dir is not None and (
-                (epoch + 1) % config.checkpoint_every == 0
-                or epoch == config.epochs - 1
-            ):
-                self._save_checkpoint(
-                    checkpoint_dir, model, optimizer, epoch, best_val,
-                    stale_epochs, history,
-                )
-            if config.verbose:  # pragma: no cover - console output
-                val_msg = (
-                    f" val_loss={history.val_loss[-1]:.4f}"
-                    f" val_acc={history.val_accuracy[-1]:.3f}"
-                    if len(val_x)
-                    else ""
-                )
-                print(
-                    f"epoch {epoch + 1}/{config.epochs}"
-                    f" loss={history.train_loss[-1]:.4f}"
-                    f" acc={history.train_accuracy[-1]:.3f}{val_msg}"
-                )
-            if stale_epochs > config.patience:
-                break
-
-        model.load_state_dict(best_state)
-        history.wall_time_s = time.perf_counter() - start
+            model.load_state_dict(best_state)
+        history.wall_time_s = fit_span.duration_s
         return history
 
     def evaluate(

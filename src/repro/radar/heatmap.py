@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..runtime.telemetry import span
 from .chirp import ChirpConfig
 from .processing import (
     angle_fft,
@@ -181,23 +182,26 @@ def drai_sequence(
     regardless of its motion direction.
     """
     config = config or DEFAULT_HEATMAP_CONFIG
-    profiles = np.stack([range_fft(cube) for cube in cubes])  # (T, N_s, N_c, K)
-    if config.clutter_removal == "background":
-        background = profiles.mean(axis=(0, 2), keepdims=True)
-        profiles = profiles - background
-    elif config.clutter_removal == "mti":
-        profiles = profiles - profiles.mean(axis=2, keepdims=True)
-    frames = np.stack(
-        [
-            _angle_magnitude(profile, config)[
-                config.range_bin_start : config.range_bin_stop
+    with span("process.drai_sequence", frames=len(cubes)):
+        profiles = np.stack([range_fft(cube) for cube in cubes])  # (T, N_s, N_c, K)
+        if config.clutter_removal == "background":
+            background = profiles.mean(axis=(0, 2), keepdims=True)
+            profiles = profiles - background
+        elif config.clutter_removal == "mti":
+            profiles = profiles - profiles.mean(axis=2, keepdims=True)
+        frames = np.stack(
+            [
+                _angle_magnitude(profile, config)[
+                    config.range_bin_start : config.range_bin_stop
+                ]
+                for profile in profiles
             ]
-            for profile in profiles
-        ]
-    )
-    if config.dynamic_median:
-        frames = np.clip(frames - np.median(frames, axis=0, keepdims=True), 0.0, None)
-    return _finalize(frames, config)
+        )
+        if config.dynamic_median:
+            frames = np.clip(
+                frames - np.median(frames, axis=0, keepdims=True), 0.0, None
+            )
+        return _finalize(frames, config)
 
 
 def heatmap_deviation(clean: np.ndarray, poisoned: np.ndarray) -> "dict[str, float]":

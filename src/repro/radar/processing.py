@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.telemetry import span
+
 
 def hann_window(length: int) -> np.ndarray:
     """Periodic Hann window (matches ``scipy.signal.windows.hann(sym=False)``)."""
@@ -29,21 +31,23 @@ def range_fft(cube: np.ndarray, window: bool = True) -> np.ndarray:
     frequencies in the *upper* FFT bins, so we conjugate first to keep the
     natural "bin index = range" layout.
     """
-    cube = np.asarray(cube)
-    if window:
-        w = hann_window(cube.shape[0])
-        cube = cube * w.reshape((-1,) + (1,) * (cube.ndim - 1))
-    return np.fft.fft(np.conj(cube), axis=0)
+    with span("process.range_fft"):
+        cube = np.asarray(cube)
+        if window:
+            w = hann_window(cube.shape[0])
+            cube = cube * w.reshape((-1,) + (1,) * (cube.ndim - 1))
+        return np.fft.fft(np.conj(cube), axis=0)
 
 
 def doppler_fft(range_profile: np.ndarray, window: bool = True) -> np.ndarray:
     """Doppler-FFT over slow time (axis 1), fftshifted to center zero Doppler."""
-    data = np.asarray(range_profile)
-    if window:
-        w = hann_window(data.shape[1])
-        data = data * w.reshape((1, -1) + (1,) * (data.ndim - 2))
-    spectrum = np.fft.fft(data, axis=1)
-    return np.fft.fftshift(spectrum, axes=1)
+    with span("process.doppler_fft"):
+        data = np.asarray(range_profile)
+        if window:
+            w = hann_window(data.shape[1])
+            data = data * w.reshape((1, -1) + (1,) * (data.ndim - 2))
+        spectrum = np.fft.fft(data, axis=1)
+        return np.fft.fftshift(spectrum, axes=1)
 
 
 def mti_filter(range_profile: np.ndarray) -> np.ndarray:
@@ -68,11 +72,12 @@ def angle_fft(data: np.ndarray, num_bins: int, window: bool = False) -> np.ndarr
     num_channels = data.shape[-1]
     if num_bins < num_channels:
         raise ValueError("num_bins must be >= number of virtual channels")
-    if window:
-        w = hann_window(num_channels)
-        data = data * w
-    spectrum = np.fft.fft(data, n=num_bins, axis=-1)
-    return np.fft.fftshift(spectrum, axes=-1)
+    with span("process.angle_fft"):
+        if window:
+            w = hann_window(num_channels)
+            data = data * w
+        spectrum = np.fft.fft(data, n=num_bins, axis=-1)
+        return np.fft.fftshift(spectrum, axes=-1)
 
 
 def angle_axis_degrees(num_bins: int) -> np.ndarray:

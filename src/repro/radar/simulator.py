@@ -32,6 +32,7 @@ import numpy as np
 
 from ..geometry.mesh import TriangleMesh
 from ..geometry.visibility import incidence_cosines, visible_mask
+from ..runtime.telemetry import metrics, span
 from .antenna import AntennaArray
 from .chirp import SPEED_OF_LIGHT, ChirpConfig
 
@@ -127,48 +128,53 @@ class FmcwRadarSimulator:
             to False when the caller passes an already-filtered submesh.
         """
         config = self.config
-        if apply_visibility and mesh.num_faces:
-            mask = visible_mask(mesh, self._radar_position, use_occlusion=config.use_occlusion)
-        else:
-            mask = np.ones(mesh.num_faces, dtype=bool)
-        if not mask.any():
-            return FacetSet.empty(config.antennas.num_virtual)
+        with span("simulate.facet_set", faces=mesh.num_faces) as _span:
+            if apply_visibility and mesh.num_faces:
+                mask = visible_mask(
+                    mesh, self._radar_position, use_occlusion=config.use_occlusion
+                )
+            else:
+                mask = np.ones(mesh.num_faces, dtype=bool)
+            if not mask.any():
+                return FacetSet.empty(config.antennas.num_virtual)
 
-        centroids = mesh.face_centroids()[mask]
-        areas = mesh.face_areas()[mask]
-        reflectivity = mesh.reflectivity[mask]
-        gains = incidence_cosines(mesh, self._radar_position)[mask]
+            centroids = mesh.face_centroids()[mask]
+            areas = mesh.face_areas()[mask]
+            reflectivity = mesh.reflectivity[mask]
+            gains = incidence_cosines(mesh, self._radar_position)[mask]
 
-        # Distances facet -> each TX / RX element.
-        d_tx = np.linalg.norm(centroids[:, None, :] - self._tx[None, :, :], axis=2)
-        d_rx = np.linalg.norm(centroids[:, None, :] - self._rx[None, :, :], axis=2)
-        # Virtual channel (t, r) delay and amplitude, flattened t-major to
-        # match AntennaArray.pair_index.
-        d_sum = d_tx[:, :, None] + d_rx[:, None, :]  # (F, n_tx, n_rx)
-        d_prod = d_tx[:, :, None] * d_rx[:, None, :]
-        num_f = centroids.shape[0]
-        delays = (d_sum / SPEED_OF_LIGHT).reshape(num_f, -1)
+            # Distances facet -> each TX / RX element.
+            d_tx = np.linalg.norm(centroids[:, None, :] - self._tx[None, :, :], axis=2)
+            d_rx = np.linalg.norm(centroids[:, None, :] - self._rx[None, :, :], axis=2)
+            # Virtual channel (t, r) delay and amplitude, flattened t-major to
+            # match AntennaArray.pair_index.
+            d_sum = d_tx[:, :, None] + d_rx[:, None, :]  # (F, n_tx, n_rx)
+            d_prod = d_tx[:, :, None] * d_rx[:, None, :]
+            num_f = centroids.shape[0]
+            delays = (d_sum / SPEED_OF_LIGHT).reshape(num_f, -1)
 
-        omega = 2.0 * math.pi * config.chirp.start_frequency_hz
-        prefactor = (
-            config.amplitude_scale
-            * omega
-            * (gains * reflectivity * areas)[:, None]
-            / ((4.0 * math.pi) ** 2 * d_prod.reshape(num_f, -1))
-        )
+            omega = 2.0 * math.pi * config.chirp.start_frequency_hz
+            prefactor = (
+                config.amplitude_scale
+                * omega
+                * (gains * reflectivity * areas)[:, None]
+                / ((4.0 * math.pi) ** 2 * d_prod.reshape(num_f, -1))
+            )
 
-        if velocities is None:
-            delay_rates = np.zeros(num_f)
-        else:
-            velocities = np.asarray(velocities, dtype=float)[mask]
-            to_radar = self._radar_position[None, :] - centroids
-            dist = np.linalg.norm(to_radar, axis=1, keepdims=True)
-            dist = np.where(dist > 0.0, dist, 1.0)
-            radial = (velocities * (-to_radar / dist)).sum(axis=1)
-            # Bistatic round trip: outbound + return path both lengthen.
-            delay_rates = 2.0 * radial / SPEED_OF_LIGHT
+            if velocities is None:
+                delay_rates = np.zeros(num_f)
+            else:
+                velocities = np.asarray(velocities, dtype=float)[mask]
+                to_radar = self._radar_position[None, :] - centroids
+                dist = np.linalg.norm(to_radar, axis=1, keepdims=True)
+                dist = np.where(dist > 0.0, dist, 1.0)
+                radial = (velocities * (-to_radar / dist)).sum(axis=1)
+                # Bistatic round trip: outbound + return path both lengthen.
+                delay_rates = 2.0 * radial / SPEED_OF_LIGHT
 
-        return FacetSet(amplitudes=prefactor, delays=delays, delay_rates=delay_rates)
+            _span.set(visible=num_f)
+            metrics().counter("simulator.facets_processed").inc(num_f)
+            return FacetSet(amplitudes=prefactor, delays=delays, delay_rates=delay_rates)
 
     # ------------------------------------------------------------------
     # Fast separable synthesis
@@ -186,31 +192,33 @@ class FmcwRadarSimulator:
         if facets.num_facets == 0:
             return np.zeros(shape, dtype=np.complex64)
 
-        chirp = config.chirp
-        f0 = chirp.start_frequency_hz
-        gamma = chirp.slope_hz_per_s
-        # Beat phase uses the channel-averaged delay; the sub-centimeter
-        # array span is far below a range bin so per-channel beat
-        # differences are negligible (per-channel *carrier* phases are
-        # kept exactly below — they carry the angle information).
-        tau_mean = facets.delays.mean(axis=1)
-        beat = np.exp(
-            (-2j * math.pi * gamma) * np.outer(tau_mean, self._fast_time)
-        ).astype(np.complex64)
-        doppler = np.exp(
-            (-2j * math.pi * f0) * np.outer(facets.delay_rates, self._slow_time)
-        ).astype(np.complex64)
-        channel = (
-            facets.amplitudes * np.exp((-2j * math.pi * f0) * facets.delays)
-        ).astype(np.complex64)
-        # sum_i beat[i,s] * doppler[i,m] * channel[i,k], contracted as one
-        # BLAS matmul: (s, i) @ (i, m*k) — much faster than a raw einsum.
-        num_facets = facets.num_facets
-        chirps_by_channels = (doppler[:, :, None] * channel[:, None, :]).reshape(
-            num_facets, -1
-        )
-        cube = beat.T @ chirps_by_channels
-        return cube.reshape(shape)
+        with span("simulate.frame_cube", facets=facets.num_facets):
+            chirp = config.chirp
+            f0 = chirp.start_frequency_hz
+            gamma = chirp.slope_hz_per_s
+            # Beat phase uses the channel-averaged delay; the sub-centimeter
+            # array span is far below a range bin so per-channel beat
+            # differences are negligible (per-channel *carrier* phases are
+            # kept exactly below — they carry the angle information).
+            tau_mean = facets.delays.mean(axis=1)
+            beat = np.exp(
+                (-2j * math.pi * gamma) * np.outer(tau_mean, self._fast_time)
+            ).astype(np.complex64)
+            doppler = np.exp(
+                (-2j * math.pi * f0) * np.outer(facets.delay_rates, self._slow_time)
+            ).astype(np.complex64)
+            channel = (
+                facets.amplitudes * np.exp((-2j * math.pi * f0) * facets.delays)
+            ).astype(np.complex64)
+            # sum_i beat[i,s] * doppler[i,m] * channel[i,k], contracted as one
+            # BLAS matmul: (s, i) @ (i, m*k) — much faster than a raw einsum.
+            num_facets = facets.num_facets
+            chirps_by_channels = (doppler[:, :, None] * channel[:, None, :]).reshape(
+                num_facets, -1
+            )
+            cube = beat.T @ chirps_by_channels
+            metrics().counter("simulator.chirps_synthesized").inc(chirp.num_chirps)
+            return cube.reshape(shape)
 
     def frame_cube(
         self, mesh: TriangleMesh, velocities: np.ndarray | None = None
@@ -308,17 +316,25 @@ class FmcwRadarSimulator:
         """
         if not meshes:
             raise ValueError("empty mesh sequence")
-        velocities = self.sequence_velocities(meshes)
-        frames = []
-        static = None
-        if extra_facets:
-            static = sum(
-                (self.frame_cube_from_facets(f) for f in extra_facets),
-                np.zeros(self.config.cube_shape, dtype=np.complex64),
-            )
-        for mesh, vel in zip(meshes, velocities):
-            cube = self.frame_cube(mesh, vel)
-            if static is not None:
-                cube = cube + static
-            frames.append(cube)
-        return np.stack(frames)
+        with span("simulate.sequence", frames=len(meshes)) as _span:
+            velocities = self.sequence_velocities(meshes)
+            frames = []
+            static = None
+            if extra_facets:
+                static = sum(
+                    (self.frame_cube_from_facets(f) for f in extra_facets),
+                    np.zeros(self.config.cube_shape, dtype=np.complex64),
+                )
+            for mesh, vel in zip(meshes, velocities):
+                cube = self.frame_cube(mesh, vel)
+                if static is not None:
+                    cube = cube + static
+                frames.append(cube)
+            stacked = np.stack(frames)
+        # Synthesis rate for the run record: chirps per wall-second (the
+        # disabled no-op span reports zero duration, skipping the gauge).
+        duration = _span.duration_s
+        if duration > 0.0:
+            num_chirps = len(meshes) * self.config.chirp.num_chirps
+            metrics().gauge("simulator.chirps_per_s").set(num_chirps / duration)
+        return stacked

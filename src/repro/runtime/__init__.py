@@ -5,6 +5,11 @@ raises :class:`ReproError` subclasses, guards catch NaN/Inf at stage
 boundaries, the isolating runner keeps ``run all`` sweeps alive past
 individual failures, and :mod:`repro.runtime.faults` injects each failure
 mode deterministically so tests can prove recovery works.
+
+It also owns the observability contract: :mod:`repro.runtime.telemetry`
+provides hierarchical span tracing plus a counters/gauges/histograms
+registry, and :mod:`repro.runtime.records` persists one JSON run record
+per CLI invocation.
 """
 
 from .errors import (
@@ -16,22 +21,56 @@ from .errors import (
 )
 from .guards import all_finite, count_nonfinite, ensure_finite
 from .logging import configure_logging, get_logger, level_for_verbosity, log_event
+from .records import (
+    RunRecord,
+    format_run_record,
+    latest_run_record_path,
+    load_run_record,
+    write_run_record,
+)
 from .runner import ExperimentOutcome, FailureReport, run_experiments
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    metrics,
+    span,
+    telemetry,
+    traced,
+)
 
 __all__ = [
     "CacheCorruptionError",
+    "Counter",
     "ExperimentError",
     "ExperimentOutcome",
     "FailureReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "ReproError",
+    "RunRecord",
     "SimulationError",
+    "Span",
+    "Telemetry",
     "TrainingDivergenceError",
     "all_finite",
     "configure_logging",
     "count_nonfinite",
     "ensure_finite",
+    "format_run_record",
     "get_logger",
+    "latest_run_record_path",
     "level_for_verbosity",
+    "load_run_record",
     "log_event",
+    "metrics",
     "run_experiments",
+    "span",
+    "telemetry",
+    "traced",
+    "write_run_record",
 ]

@@ -12,11 +12,15 @@ grep-able::
 from __future__ import annotations
 
 import logging
+import os
 import sys
 
 _ROOT_NAME = "repro"
 _FORMAT = "[%(name)s] %(levelname)s %(message)s"
-_configured = False
+_TIMESTAMP_FORMAT = "%(asctime)s " + _FORMAT
+#: Set to a non-empty value (other than 0/false/no) to prefix log lines
+#: with a timestamp; the CLI's ``--log-timestamps`` flag sets the same.
+TIMESTAMP_ENV = "REPRO_LOG_TIMESTAMPS"
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -28,24 +32,32 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
-def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+def configure_logging(
+    verbosity: int = 0, stream=None, timestamps: "bool | None" = None
+) -> logging.Logger:
     """Install a stderr handler on the ``repro`` root logger.
 
     ``verbosity`` maps CLI flags to levels: ``-1`` (``--quiet``) shows only
     errors, ``0`` warnings (the default), ``1`` (``-v``) info, and ``>=2``
-    (``-vv``) debug.  Idempotent: reconfiguring replaces the handler rather
-    than stacking duplicates.
+    (``-vv``) debug.  ``timestamps`` opts each line into an ``asctime``
+    prefix; None defers to the :data:`TIMESTAMP_ENV` environment variable.
+    Idempotent: reconfiguring replaces the handler rather than stacking
+    duplicates.
     """
-    global _configured
+    if timestamps is None:
+        timestamps = os.environ.get(TIMESTAMP_ENV, "").lower() not in (
+            "", "0", "false", "no",
+        )
     root = logging.getLogger(_ROOT_NAME)
     for handler in list(root.handlers):
         root.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.setFormatter(
+        logging.Formatter(_TIMESTAMP_FORMAT if timestamps else _FORMAT)
+    )
     root.addHandler(handler)
     root.setLevel(level_for_verbosity(verbosity))
     root.propagate = False
-    _configured = True
     return root
 
 
@@ -60,9 +72,23 @@ def level_for_verbosity(verbosity: int) -> int:
     return logging.DEBUG
 
 
+def _format_value(value) -> str:
+    """Quote values that would break ``key=value key2=...`` parsing."""
+    text = str(value)
+    if not text or any(c.isspace() for c in text) or '"' in text:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
 def format_fields(**fields) -> str:
-    """Render ``key=value`` pairs in insertion order for log messages."""
-    return " ".join(f"{key}={value}" for key, value in fields.items())
+    """Render ``key=value`` pairs in insertion order for log messages.
+
+    Values containing whitespace (or quotes, or nothing at all) are
+    double-quoted with backslash escaping so log lines stay splittable on
+    spaces.
+    """
+    return " ".join(f"{key}={_format_value(value)}" for key, value in fields.items())
 
 
 def log_event(logger: logging.Logger, level: int, event: str, **fields) -> None:

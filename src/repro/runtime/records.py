@@ -1,0 +1,166 @@
+"""Run records: one JSON file per ``repro run`` invocation.
+
+Every CLI run writes ``runs/<timestamp>-<name>.json`` capturing what was
+run (experiment, preset, seed, git revision), what the metrics registry
+counted, where the time went (span aggregates), and how it ended — so a
+two-hour sweep leaves an inspectable artifact instead of scrollback.
+``repro stats`` pretty-prints the latest record.
+
+Records are written with the same write-then-rename pattern the dataset
+cache uses, so an interrupted run never leaves a truncated record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .telemetry import write_text_atomic
+
+#: Bump when the record layout changes; ``load_run_record`` tolerates
+#: unknown extra keys but refuses other versions.
+RUN_RECORD_SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunRecord:
+    """Everything worth keeping about one experiment invocation."""
+
+    name: str
+    timestamp: str = ""
+    config: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)
+    outcome: dict = field(default_factory=dict)
+    git_revision: str = ""
+    schema_version: int = RUN_RECORD_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.timestamp:
+            self.timestamp = time.strftime("%Y%m%dT%H%M%S")
+        if not self.git_revision:
+            self.git_revision = git_revision()
+
+
+def git_revision() -> str:
+    """Short ``git describe``-able revision of the working tree, if any."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if result.returncode != 0:
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+def default_runs_dir() -> Path:
+    """Run-record directory (override with ``REPRO_RUNS_DIR``)."""
+    env = os.environ.get("REPRO_RUNS_DIR")
+    return Path(env) if env else Path("runs")
+
+
+def write_run_record(record: RunRecord, directory: "Path | None" = None) -> Path:
+    """Atomically persist ``record``; returns the path written.
+
+    The filename is ``<timestamp>-<name>.json`` with a numeric suffix when
+    two records of the same experiment land within one second.
+    """
+    directory = Path(directory) if directory is not None else default_runs_dir()
+    safe_name = "".join(c if c.isalnum() or c in "-_" else "_" for c in record.name)
+    path = directory / f"{record.timestamp}-{safe_name}.json"
+    counter = 1
+    while path.exists():
+        path = directory / f"{record.timestamp}-{safe_name}.{counter}.json"
+        counter += 1
+    payload = json.dumps(asdict(record), indent=2, sort_keys=True, default=str)
+    return write_text_atomic(path, payload + "\n")
+
+
+def load_run_record(path: "str | os.PathLike") -> RunRecord:
+    """Read a record written by :func:`write_run_record`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("schema_version")
+    if version != RUN_RECORD_SCHEMA_VERSION:
+        raise ValueError(
+            f"run record {path} has schema version {version!r}, "
+            f"expected {RUN_RECORD_SCHEMA_VERSION}"
+        )
+    known = {f for f in RunRecord.__dataclass_fields__}
+    return RunRecord(**{k: v for k, v in payload.items() if k in known})
+
+
+def latest_run_record_path(directory: "Path | None" = None) -> "Path | None":
+    """Newest record in ``directory`` (by timestamped filename), or None."""
+    directory = Path(directory) if directory is not None else default_runs_dir()
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob("*.json"))
+    return candidates[-1] if candidates else None
+
+
+def format_run_record(record: RunRecord) -> str:
+    """Human-readable rendering for ``repro stats``."""
+    lines = [
+        f"run record: {record.name}",
+        f"  timestamp    {record.timestamp}",
+        f"  git          {record.git_revision}",
+        f"  outcome      {_format_outcome(record.outcome)}",
+    ]
+    config = record.config
+    if config:
+        interesting = ("experiment", "preset", "seed", "use_disk_cache")
+        summary = " ".join(
+            f"{key}={config[key]}" for key in interesting if key in config
+        )
+        lines.append(f"  config       {summary or '(see record file)'}")
+    if record.metrics:
+        lines.append("  metrics:")
+        for name, snap in sorted(record.metrics.items()):
+            kind = snap.get("type", "?")
+            if kind == "histogram":
+                lines.append(
+                    f"    {name:<36} count={snap.get('count', 0)} "
+                    f"mean={snap.get('mean', 0.0):.4g}"
+                )
+            else:
+                lines.append(f"    {name:<36} {snap.get('value', 0)}")
+    if record.spans:
+        lines.append("  spans (heaviest first):")
+        heaviest = sorted(
+            record.spans.items(),
+            key=lambda kv: kv[1].get("total_s", 0.0),
+            reverse=True,
+        )
+        for name, entry in heaviest:
+            lines.append(
+                f"    {name:<36} count={entry.get('count', 0):>5} "
+                f"total={entry.get('total_s', 0.0):8.3f}s "
+                f"mean={entry.get('mean_s', 0.0):8.4f}s"
+            )
+    return "\n".join(lines)
+
+
+def _format_outcome(outcome: dict) -> str:
+    if not outcome:
+        return "unknown"
+    status = outcome.get("status")
+    if status is None:
+        status = "ok" if outcome.get("ok") else "FAILED"
+    parts = [str(status)]
+    experiments = outcome.get("experiments")
+    if isinstance(experiments, list) and experiments:
+        succeeded = sum(1 for entry in experiments if entry.get("ok"))
+        parts.append(f"({succeeded}/{len(experiments)} experiments ok)")
+    if outcome.get("error"):
+        parts.append(str(outcome["error"]))
+    return " ".join(parts)

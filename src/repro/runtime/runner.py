@@ -6,20 +6,29 @@ experiment exception — hours of simulator work lost to one bad figure.
 try/except boundary, records per-experiment outcome, wall time, and the
 full traceback, continues past failures, and lets the CLI exit non-zero
 only after the full sweep.
+
+Timing rides on the telemetry layer: each experiment runs inside a forced
+``experiment.<name>`` span (the repo's single wall-clock mechanism), and
+while tracing is enabled every outcome additionally carries a per-stage
+time breakdown derived from the spans recorded during that experiment.
 """
 
 from __future__ import annotations
 
 import logging
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable
 
 from .errors import ExperimentError
 from .logging import get_logger
+from .telemetry import telemetry
 
 _log = get_logger("runtime.runner")
+
+#: Stages surfaced in the per-experiment breakdown (plus experiment.* spans,
+#: which are excluded as they duplicate the wall time).
+_BREAKDOWN_LIMIT = 3
 
 
 @dataclass
@@ -32,6 +41,8 @@ class ExperimentOutcome:
     wall_time_s: float
     error: str = ""
     traceback: str = ""
+    #: Span-name -> seconds spent during this experiment (tracing only).
+    stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
 
 @dataclass
@@ -64,11 +75,35 @@ class FailureReport:
                 f"  {status} {outcome.name:<8} {outcome.wall_time_s:7.1f}s"
                 + (f"  {outcome.error}" if outcome.error else "")
             )
+            if outcome.stage_seconds:
+                top = sorted(
+                    outcome.stage_seconds.items(), key=lambda kv: kv[1], reverse=True
+                )[:_BREAKDOWN_LIMIT]
+                breakdown = " ".join(f"{name}={secs:.1f}s" for name, secs in top)
+                lines.append(f"         spans: {breakdown}")
         for outcome in self.failed:
             lines.append("")
             lines.append(f"--- traceback: {outcome.name} ---")
             lines.append(outcome.traceback.rstrip())
         return "\n".join(lines)
+
+
+def _span_totals() -> "dict[str, float]":
+    """Current total seconds per span name (empty while tracing is off)."""
+    tel = telemetry()
+    if not tel.enabled:
+        return {}
+    return {name: entry["total_s"] for name, entry in tel.aggregate().items()}
+
+
+def _stage_delta(before: "dict[str, float]", after: "dict[str, float]") -> "dict[str, float]":
+    """Seconds per span name accrued between two snapshots."""
+    delta = {}
+    for name, total in after.items():
+        spent = total - before.get(name, 0.0)
+        if spent > 0.0 and not name.startswith("experiment."):
+            delta[name] = spent
+    return delta
 
 
 def run_experiments(
@@ -85,13 +120,15 @@ def run_experiments(
     report = FailureReport()
     for name, description, thunk in experiments:
         emit(f"=== {name}: {description} ===")
-        start = time.perf_counter()
+        totals_before = _span_totals()
+        timer = telemetry().span(f"experiment.{name}", force=True)
         try:
-            emit(thunk())
+            with timer:
+                emit(thunk())
         except KeyboardInterrupt:
             raise
         except Exception as exc:  # noqa: BLE001 - isolation boundary
-            elapsed = time.perf_counter() - start
+            elapsed = timer.duration_s
             report.outcomes.append(
                 ExperimentOutcome(
                     name=name,
@@ -100,6 +137,7 @@ def run_experiments(
                     wall_time_s=elapsed,
                     error=f"{type(exc).__name__}: {exc}",
                     traceback=traceback.format_exc(),
+                    stage_seconds=_stage_delta(totals_before, _span_totals()),
                 )
             )
             _log.log(
@@ -111,10 +149,14 @@ def run_experiments(
             if not isolate:
                 raise ExperimentError(name, exc) from exc
             continue
-        elapsed = time.perf_counter() - start
+        elapsed = timer.duration_s
         report.outcomes.append(
             ExperimentOutcome(
-                name=name, description=description, ok=True, wall_time_s=elapsed
+                name=name,
+                description=description,
+                ok=True,
+                wall_time_s=elapsed,
+                stage_seconds=_stage_delta(totals_before, _span_totals()),
             )
         )
         emit(f"--- {name} done in {elapsed:.1f}s ---\n")

@@ -15,12 +15,26 @@ import pytest
 from repro.datasets import GenerationConfig, SampleGenerator
 from repro.models import CNNLSTMClassifier, ModelConfig, Trainer, TrainingConfig
 from repro.radar import AntennaArray, ChirpConfig, HeatmapConfig, RadarConfig
+from repro.runtime.telemetry import metrics, telemetry
 
 
 @pytest.fixture(autouse=True)
 def _isolated_cache(tmp_path, monkeypatch):
-    """Point the dataset cache at a per-test temp dir."""
+    """Point the dataset cache and run-record dir at per-test temp dirs."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Disabled tracing and empty metrics for every test."""
+    telemetry().disable()
+    telemetry().reset()
+    metrics().reset()
+    yield
+    telemetry().disable()
+    telemetry().reset()
+    metrics().reset()
 
 
 def make_micro_generation_config(

@@ -56,3 +56,41 @@ def test_log_event_appends_fields_in_order():
     log_event(get_logger("evt"), logging.WARNING, "quarantined", path="/a/b.npz")
     assert "quarantined path=/a/b.npz" in stream.getvalue()
     configure_logging(0)
+
+
+def test_format_fields_quotes_awkward_values():
+    assert format_fields(msg="two words") == 'msg="two words"'
+    assert format_fields(empty="") == 'empty=""'
+    assert format_fields(tabby="a\tb") == 'tabby="a\tb"'
+    assert format_fields(quoted='say "hi"') == 'quoted="say \\"hi\\""'
+    assert format_fields(backslash="a\\b c") == 'backslash="a\\\\b c"'
+    # Plain values stay unquoted.
+    assert format_fields(n=3, path="/a/b.npz") == "n=3 path=/a/b.npz"
+
+
+def test_timestamps_flag_prefixes_asctime():
+    stream = io.StringIO()
+    configure_logging(0, stream=stream, timestamps=True)
+    get_logger("ts").warning("stamped")
+    line = stream.getvalue().splitlines()[0]
+    # asctime like "2026-08-05 12:34:56,789" precedes the [name] prefix.
+    assert not line.startswith("[repro.ts]")
+    assert "[repro.ts] WARNING stamped" in line
+    configure_logging(0)
+
+
+def test_timestamps_env_opt_in(monkeypatch):
+    from repro.runtime.logging import TIMESTAMP_ENV
+
+    monkeypatch.setenv(TIMESTAMP_ENV, "1")
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    get_logger("ts.env").warning("stamped")
+    assert not stream.getvalue().startswith("[repro.ts.env]")
+
+    monkeypatch.setenv(TIMESTAMP_ENV, "false")
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    get_logger("ts.env").warning("bare")
+    assert stream.getvalue().startswith("[repro.ts.env]")
+    configure_logging(0)

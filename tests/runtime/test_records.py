@@ -1,0 +1,101 @@
+"""Run-record persistence: write, load, latest, and pretty-print."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.records import (
+    RUN_RECORD_SCHEMA_VERSION,
+    RunRecord,
+    format_run_record,
+    latest_run_record_path,
+    load_run_record,
+    write_run_record,
+)
+
+
+def _record(name="fig7", timestamp="20260101T000000"):
+    return RunRecord(
+        name=name,
+        timestamp=timestamp,
+        config={"experiment": name, "preset": "fast", "seed": 0},
+        metrics={"cache.hit": {"type": "counter", "value": 2}},
+        spans={"train.fit": {"count": 1, "total_s": 1.5, "mean_s": 1.5}},
+        outcome={"status": "ok", "experiments": [{"name": name, "ok": True}]},
+        git_revision="abc1234",
+    )
+
+
+def test_round_trip(tmp_path):
+    record = _record()
+    path = write_run_record(record, tmp_path)
+    assert path.name == "20260101T000000-fig7.json"
+    loaded = load_run_record(path)
+    assert loaded == record
+    # On-disk payload is plain JSON with the schema version embedded.
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == RUN_RECORD_SCHEMA_VERSION
+
+
+def test_collision_gets_numeric_suffix(tmp_path):
+    write_run_record(_record(), tmp_path)
+    second = write_run_record(_record(), tmp_path)
+    assert second.name == "20260101T000000-fig7.1.json"
+
+
+def test_unsafe_experiment_names_are_sanitized(tmp_path):
+    path = write_run_record(_record(name="../evil name"), tmp_path)
+    assert path.parent == tmp_path
+    assert "/" not in path.name.replace(".json", "")
+    assert " " not in path.name
+
+
+def test_rejects_other_schema_versions(tmp_path):
+    path = write_run_record(_record(), tmp_path)
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = RUN_RECORD_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="schema version"):
+        load_run_record(path)
+
+
+def test_load_tolerates_unknown_keys(tmp_path):
+    path = write_run_record(_record(), tmp_path)
+    payload = json.loads(path.read_text())
+    payload["future_field"] = {"x": 1}
+    path.write_text(json.dumps(payload))
+    assert load_run_record(path).name == "fig7"
+
+
+def test_latest_run_record_path(tmp_path):
+    assert latest_run_record_path(tmp_path / "missing") is None
+    write_run_record(_record(timestamp="20260101T000000"), tmp_path)
+    newest = write_run_record(_record(timestamp="20260102T000000"), tmp_path)
+    assert latest_run_record_path(tmp_path) == newest
+
+
+def test_timestamp_and_revision_autofill(monkeypatch, tmp_path):
+    record = RunRecord(name="x")
+    assert record.timestamp  # strftime-filled
+    assert record.git_revision  # "unknown" at worst
+    path = write_run_record(record, tmp_path)
+    assert load_run_record(path).timestamp == record.timestamp
+
+
+def test_format_run_record_mentions_everything():
+    text = format_run_record(_record())
+    assert "run record: fig7" in text
+    assert "ok (1/1 experiments ok)" in text
+    assert "cache.hit" in text
+    assert "train.fit" in text
+    assert "abc1234" in text
+
+
+def test_format_failed_outcome():
+    record = _record()
+    record.outcome = {"status": "failed", "error": "ValueError: boom"}
+    text = format_run_record(record)
+    assert "failed" in text
+    assert "ValueError: boom" in text

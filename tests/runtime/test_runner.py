@@ -4,6 +4,7 @@ import pytest
 
 from repro.runtime.errors import ExperimentError
 from repro.runtime.runner import run_experiments
+from repro.runtime.telemetry import span, telemetry
 
 
 def _jobs(executed):
@@ -71,3 +72,50 @@ def test_all_ok_report():
     )
     assert report.all_ok
     assert "1/1 experiments succeeded" in report.format()
+
+
+def test_stage_seconds_empty_while_tracing_disabled():
+    report = run_experiments(
+        [("one", "only", lambda: "fine")], emit=lambda _: None
+    )
+    assert report.outcomes[0].stage_seconds == {}
+
+
+def test_stage_breakdown_from_spans_when_tracing_enabled():
+    telemetry().enable()
+
+    def staged():
+        with span("stage.example"):
+            sum(range(10_000))
+        return "done"
+
+    report = run_experiments(
+        [("one", "staged experiment", staged)], emit=lambda _: None
+    )
+    stage_seconds = report.outcomes[0].stage_seconds
+    assert "stage.example" in stage_seconds
+    assert stage_seconds["stage.example"] > 0.0
+    # experiment.* spans duplicate the wall time and are excluded.
+    assert not any(name.startswith("experiment.") for name in stage_seconds)
+    assert "spans: stage.example=" in report.format()
+
+
+def test_stage_breakdown_is_per_experiment():
+    telemetry().enable()
+
+    def first():
+        with span("stage.shared"):
+            pass
+        return "one"
+
+    def second():
+        with span("stage.other"):
+            pass
+        return "two"
+
+    report = run_experiments(
+        [("a", "first", first), ("b", "second", second)], emit=lambda _: None
+    )
+    assert "stage.shared" in report.outcomes[0].stage_seconds
+    assert "stage.shared" not in report.outcomes[1].stage_seconds
+    assert "stage.other" in report.outcomes[1].stage_seconds

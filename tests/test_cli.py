@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -39,14 +41,12 @@ def test_run_requires_command():
         build_parser().parse_args([])
 
 
-def test_run_executes_experiment_end_to_end(capsys, monkeypatch, tmp_path):
-    """`repro run sec6d` at a micro preset exercises the full CLI path."""
-    import repro.cli as cli
+def _micro_preset():
     from repro.eval import FAST
 
     from .conftest import make_micro_generation_config
 
-    micro = FAST.scaled(
+    return FAST.scaled(
         generation=make_micro_generation_config(),
         num_frames=8,
         samples_per_class=4,
@@ -56,10 +56,118 @@ def test_run_executes_experiment_end_to_end(capsys, monkeypatch, tmp_path):
         shap_samples=24,
         poisoned_frame_counts=(2, 4),
     )
+
+
+def test_run_executes_experiment_end_to_end(capsys, monkeypatch, tmp_path):
+    """`repro run sec6d` at a micro preset exercises the full CLI path."""
+    import repro.cli as cli
+
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    monkeypatch.setattr(cli, "preset_by_name", lambda name: micro)
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+    monkeypatch.setattr(cli, "preset_by_name", lambda name: _micro_preset())
     assert cli.main(["run", "sec6d", "--preset", "fast"]) == 0
     out = capsys.readouterr().out
     assert "sec6d" in out
     assert "IF simulation" in out
     assert "done in" in out
+    # Every run leaves a run record behind.
+    records = list((tmp_path / "runs").glob("*-sec6d.json"))
+    assert len(records) == 1
+
+
+def test_run_exports_trace_metrics_and_record(capsys, monkeypatch, tmp_path):
+    """--trace/--metrics write valid artifacts; `stats` prints the record.
+
+    fig7 generates a dataset (through the disk cache) and trains the victim
+    model, so the trace must contain nested spans from the simulator,
+    dataset, and trainer layers, and the metrics snapshot the cache and
+    trainer instruments.
+    """
+    import repro.cli as cli
+
+    runs_dir = tmp_path / "runs"
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.jsonl"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(runs_dir))
+    monkeypatch.setattr(cli, "preset_by_name", lambda name: _micro_preset())
+    assert cli.main([
+        "run", "fig7", "--preset", "fast",
+        "--trace", str(trace_path), "--metrics", str(metrics_path),
+    ]) == 0
+    capsys.readouterr()
+
+    # --- Chrome trace: spans from every pipeline layer, some nested.
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    names = {event["name"] for event in events}
+    assert "simulate.frame_cube" in names  # simulator layer
+    assert "stage.dataset" in names  # dataset layer
+    assert "train.fit" in names and "train.epoch" in names  # trainer layer
+    assert "experiment.fig7" in names  # runner layer
+    spans_by_name = {}
+    for event in events:
+        spans_by_name.setdefault(event["name"], event)
+    # Nesting: a frame-cube span lies inside the dataset stage span.
+    outer = spans_by_name["stage.dataset"]
+    inner = spans_by_name["simulate.frame_cube"]
+    assert outer["ts"] <= inner["ts"] <= outer["ts"] + outer["dur"]
+
+    # --- Metrics JSONL: cache + trainer instruments present.
+    entries = {
+        entry["name"]: entry
+        for entry in map(json.loads, metrics_path.read_text().splitlines())
+    }
+    assert entries["cache.miss"]["value"] == 1
+    assert entries["trainer.samples_processed"]["value"] > 0
+    assert entries["trainer.samples_per_s"]["type"] == "gauge"
+    assert entries["trainer.grad_norm"]["type"] == "histogram"
+    assert entries["trainer.grad_norm"]["count"] > 0
+
+    # --- Run record: written, loadable, and surfaced by `repro stats`.
+    from repro.runtime.records import latest_run_record_path, load_run_record
+
+    record = load_run_record(latest_run_record_path(runs_dir))
+    assert record.name == "fig7"
+    assert record.config["preset"] == "fast"
+    assert record.outcome["status"] == "ok"
+    assert "train.fit" in record.spans
+    assert "cache.miss" in record.metrics
+    assert cli.main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "run record: fig7" in out
+    assert "ok (1/1 experiments ok)" in out
+
+
+def test_run_failure_still_writes_record(capsys, monkeypatch, tmp_path):
+    import repro.cli as cli
+
+    runs_dir = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(runs_dir))
+    monkeypatch.setattr(cli, "preset_by_name", lambda name: _micro_preset())
+    monkeypatch.setitem(
+        cli.EXPERIMENTS, "fig7",
+        ("doomed", lambda ctx: (_ for _ in ()).throw(ValueError("boom"))),
+    )
+    assert cli.main(["run", "fig7"]) == 1
+    from repro.runtime.records import latest_run_record_path, load_run_record
+
+    record = load_run_record(latest_run_record_path(runs_dir))
+    assert record.outcome["status"] == "failed"
+    assert "ValueError" in record.outcome["error"]
+
+
+def test_stats_without_records_errors(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "empty"))
+    assert main(["stats"]) == 1
+
+
+def test_parser_accepts_observability_flags():
+    args = build_parser().parse_args([
+        "--log-timestamps", "run", "fig7",
+        "--trace", "t.json", "--metrics", "m.jsonl", "--runs-dir", "r",
+    ])
+    assert args.log_timestamps
+    assert args.trace == "t.json"
+    assert args.metrics == "m.jsonl"
+    assert args.runs_dir == "r"
