@@ -17,6 +17,14 @@ failure is recorded in the failure report (outcome, wall time, traceback)
 and the sweep continues; the exit code turns non-zero only after the full
 sweep.  ``--verbose``/``--quiet`` control the pipeline's structured logs.
 
+``--workers N`` fans work out across a supervised process pool: whole
+experiments for ``run all``, dataset-generation samples for a single
+experiment.  Sweeps checkpoint every finished experiment to a journal
+(``--journal``, default ``<runs-dir>/sweep-journal.jsonl``); after a
+SIGINT/SIGTERM or crash, ``--resume`` skips the journaled experiments
+instead of redoing them.  An interrupted sweep still flushes the journal,
+writes the partial failure report and run record, and exits 130.
+
 Every ``run`` enables span tracing and writes a run record (config, metric
 snapshot, span aggregates, outcome) under ``runs/`` — ``repro stats``
 pretty-prints the most recent one.  ``--trace`` additionally exports a
@@ -27,20 +35,25 @@ and ``--metrics`` a JSONL snapshot of every counter/gauge/histogram.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import traceback
 from pathlib import Path
 from typing import Callable
 
+from .runtime.errors import JournalError
+from .runtime.journal import SweepJournal
 from .runtime.logging import configure_logging, get_logger
+from .runtime.pool import PoolConfig
 from .runtime.records import (
     RunRecord,
+    default_runs_dir,
     format_run_record,
     latest_run_record_path,
     load_run_record,
     write_run_record,
 )
-from .runtime.runner import FailureReport, run_experiments
+from .runtime.runner import FailureReport, run_experiments, run_experiments_parallel
 from .runtime.telemetry import metrics, telemetry
 
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
@@ -174,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk dataset cache")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="supervised process-pool width: parallel "
+                     "experiments for 'run all', parallel dataset "
+                     "generation otherwise (1 = serial)")
+    run.add_argument("--journal", metavar="PATH", default=None,
+                     help="sweep journal path (default "
+                     "<runs-dir>/sweep-journal.jsonl; 'run all' only)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip experiments the journal already marks done")
     run.add_argument("--report", metavar="PATH", default=None,
                      help="also write the sweep failure report to PATH")
     run.add_argument("--trace", metavar="PATH", default=None,
@@ -219,20 +241,70 @@ def _finalize_run(
     log.info("run record written to %s", path)
 
 
-def _report_outcome(report: FailureReport) -> dict:
+def _report_outcome(report: FailureReport, interrupted: bool = False) -> dict:
     """Run-record outcome payload for a (possibly single-entry) sweep."""
+    if interrupted:
+        status = "interrupted"
+    else:
+        status = "ok" if report.all_ok else "failed"
     return {
-        "status": "ok" if report.all_ok else "failed",
+        "status": status,
         "experiments": [
             {
                 "name": outcome.name,
                 "ok": outcome.ok,
                 "wall_time_s": outcome.wall_time_s,
                 "error": outcome.error,
+                "resumed": outcome.resumed,
             }
             for outcome in report.outcomes
         ],
     }
+
+
+def _experiment_task(
+    name: str, preset_name: str, seed: int, use_disk_cache: bool
+) -> str:
+    """Pool-worker entry point: run one experiment in a fresh context.
+
+    Each worker rebuilds its own :class:`ExperimentContext` (process
+    boundaries don't share the in-memory caches; the on-disk dataset cache
+    still de-duplicates generation across workers) with ``workers=1`` so a
+    pooled sweep never nests a second pool inside each experiment.
+    """
+    preset = preset_by_name(preset_name)
+    context = ExperimentContext(
+        preset, seed=seed, use_disk_cache=use_disk_cache, workers=1
+    )
+    _, runner = EXPERIMENTS[name]
+    return runner(context)
+
+
+def _install_sweep_signal_handlers(log) -> "dict":
+    """SIGINT/SIGTERM -> KeyboardInterrupt, so sweeps unwind gracefully.
+
+    The interrupt propagates through the runner (journal already holds
+    every finished experiment) to the CLI, which writes the partial report
+    and run record before exiting 130.  Returns the previous handlers for
+    restoration; no-op outside the main thread.
+    """
+
+    def _handler(signum: int, frame) -> None:
+        log.warning("signal %d received; flushing journal and stopping", signum)
+        raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous: "dict") -> None:
+    for signum, handler in previous.items():
+        signal.signal(signum, handler)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -257,20 +329,12 @@ def main(argv: "list[str] | None" = None) -> int:
         print(format_run_record(load_run_record(path)))
         return 0
 
+    if args.workers < 1:
+        log.error("--workers must be >= 1, got %d", args.workers)
+        return 2
     preset = preset_by_name(args.preset)
-    context = ExperimentContext(
-        preset, seed=args.seed, use_disk_cache=not args.no_cache
-    )
     sweep = args.experiment == "all"
     names = list(EXPERIMENTS) if sweep else [args.experiment]
-    jobs = []
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        jobs.append((
-            name,
-            f"{description} (preset {preset.name})",
-            lambda runner=runner: runner(context),
-        ))
 
     tel = telemetry()
     tel.reset()
@@ -278,8 +342,25 @@ def main(argv: "list[str] | None" = None) -> int:
     metrics().reset()
     try:
         if not sweep:
-            if args.report:
-                log.warning("--report only applies to 'run all'; ignoring")
+            for flag, value in (
+                ("--report", args.report),
+                ("--journal", args.journal),
+                ("--resume", args.resume),
+            ):
+                if value:
+                    log.warning("%s only applies to 'run all'; ignoring", flag)
+            context = ExperimentContext(
+                preset,
+                seed=args.seed,
+                use_disk_cache=not args.no_cache,
+                workers=args.workers,
+            )
+            description, runner = EXPERIMENTS[args.experiment]
+            jobs = [(
+                args.experiment,
+                f"{description} (preset {preset.name})",
+                lambda: runner(context),
+            )]
             # A single experiment keeps the traditional fail-fast contract.
             try:
                 report = run_experiments(jobs, isolate=False)
@@ -298,13 +379,87 @@ def main(argv: "list[str] | None" = None) -> int:
             _finalize_run(args, _report_outcome(report), log)
             return 0
 
-        report = run_experiments(jobs, isolate=True)
+        # --- sweep: journaled, resumable, optionally parallel -----------
+        runs_dir = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+        journal_path = (
+            Path(args.journal) if args.journal
+            else runs_dir / "sweep-journal.jsonl"
+        )
+        campaign = {
+            "experiment": "all",
+            "preset": args.preset,
+            "seed": args.seed,
+            "use_disk_cache": not args.no_cache,
+            "experiments": names,
+        }
+        try:
+            journal = SweepJournal.open(
+                journal_path, campaign, resume=args.resume
+            )
+        except JournalError as exc:
+            log.error("cannot open sweep journal: %s", exc)
+            return 2
+
+        report = FailureReport()
+        interrupted = False
+        previous_handlers = _install_sweep_signal_handlers(log)
+        try:
+            with journal:
+                if args.workers > 1:
+                    parallel_jobs = [
+                        (
+                            name,
+                            f"{EXPERIMENTS[name][0]} (preset {preset.name})",
+                            _experiment_task,
+                            (name, args.preset, args.seed, not args.no_cache),
+                        )
+                        for name in names
+                    ]
+                    run_experiments_parallel(
+                        parallel_jobs,
+                        PoolConfig(workers=args.workers),
+                        journal=journal,
+                        report=report,
+                    )
+                else:
+                    context = ExperimentContext(
+                        preset, seed=args.seed, use_disk_cache=not args.no_cache
+                    )
+                    jobs = []
+                    for name in names:
+                        description, runner = EXPERIMENTS[name]
+                        jobs.append((
+                            name,
+                            f"{description} (preset {preset.name})",
+                            lambda runner=runner: runner(context),
+                        ))
+                    run_experiments(
+                        jobs, isolate=True, journal=journal, report=report
+                    )
+        except KeyboardInterrupt:
+            interrupted = True
+            log.warning(
+                "sweep interrupted after %d/%d experiments; "
+                "journal %s holds the finished ones (resume with --resume)",
+                len(report.outcomes), len(names), journal_path,
+            )
+        finally:
+            _restore_signal_handlers(previous_handlers)
+
         print(report.format())
+        if interrupted:
+            print(
+                f"sweep interrupted: {len(report.outcomes)}/{len(names)} "
+                f"experiments reached a terminal state; resume with "
+                f"`repro run all --resume --journal {journal_path}`"
+            )
         if args.report:
             with open(args.report, "w") as handle:
                 handle.write(report.format() + "\n")
             log.info("failure report written to %s", args.report)
-        _finalize_run(args, _report_outcome(report), log)
+        _finalize_run(args, _report_outcome(report, interrupted), log)
+        if interrupted:
+            return 130
         return 0 if report.all_ok else 1
     finally:
         tel.disable()

@@ -16,6 +16,10 @@ the cache defends itself:
 * **Quarantine + regenerate** — :func:`cached_dataset` moves unusable
   archives aside (``*.quarantined``) and transparently rebuilds, so a
   corrupt cache costs one regeneration, never a dead campaign.
+* **Transient-read retry** — an archive read that dies on a plain
+  ``OSError`` (flaky network filesystem, EINTR under load) is retried
+  with a short backoff before the quarantine verdict; only *persistent*
+  unreadability costs a regeneration.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..runtime.backoff import TRANSIENT_IO_POLICY, retry_call
 from ..runtime.errors import CacheCorruptionError
 from ..runtime.guards import all_finite
 from ..runtime.logging import get_logger
@@ -225,10 +230,33 @@ def cached_dataset(params: dict, builder, cache_dir: "Path | None" = None) -> He
     """
     directory = cache_dir or default_cache_dir()
     path = directory / f"dataset-{cache_key(params)}.npz"
+
+    def _load() -> HeatmapDataset:
+        with span("cache.load", path=str(path)):
+            return load_dataset(path)
+
+    def _transient(exc: BaseException) -> bool:
+        # A corruption verdict caused by a *plain* OSError (EIO on a
+        # network mount, EINTR) may heal on re-read; structural damage
+        # (bad zip, checksum mismatch) never does.  FileNotFoundError is
+        # terminal too — another process quarantined the archive already.
+        cause = exc.__cause__
+        return isinstance(cause, OSError) and not isinstance(
+            cause, FileNotFoundError
+        )
+
+    def _count_retry(attempt: int, exc: BaseException) -> None:
+        metrics().counter("cache.read_retry").inc()
+
     if path.exists():
         try:
-            with span("cache.load", path=str(path)):
-                dataset = load_dataset(path)
+            dataset = retry_call(
+                _load,
+                policy=TRANSIENT_IO_POLICY,
+                retry_on=CacheCorruptionError,
+                should_retry=_transient,
+                on_retry=_count_retry,
+            )
             metrics().counter("cache.hit").inc()
             _log.info("cache hit path=%s samples=%d", path, len(dataset))
             return dataset

@@ -5,6 +5,14 @@ of different statures perform the six activities at the 12-position grid
 (4 distances x 3 angles), each sample rendered to a 32-frame DRAI heatmap
 sequence through the Eq. 3 RF simulator plus receiver noise and static
 environment clutter.
+
+Dataset campaigns are *planned* before they are executed: the campaign
+seed first deterministically fixes every sample's position, participant,
+and per-sample RNG root (``SeedSequence((campaign_seed, task_index))``),
+and only then are samples synthesized — serially or fanned out across a
+:class:`~repro.runtime.pool.WorkerPool`.  Because each sample's random
+stream depends only on the plan (never on execution order or worker
+identity), parallel generation is bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -26,13 +34,20 @@ from ..geometry.transforms import RigidTransform, subject_placement
 from ..radar.heatmap import HeatmapConfig, drai_sequence
 from ..radar.noise import add_thermal_noise, random_environment
 from ..radar.simulator import FmcwRadarSimulator, RadarConfig
+from ..runtime.errors import SimulationError
 from ..runtime.guards import ensure_finite
+from ..runtime.pool import PoolConfig, PoolTask, derive_task_seed, run_tasks
 from ..runtime.telemetry import metrics, span
 from .activities import TRAINING_ANGLES_DEG, TRAINING_DISTANCES_M, activity_label
 from .dataset import HeatmapDataset, SampleMeta
 
 #: Stature scales of the three prototype participants (Section VI-B).
 PARTICIPANT_STATURES = (0.93, 1.0, 1.07)
+
+#: SeedSequence stream index reserved for campaign *planning* randomness
+#: (position order, participant choice) — far outside any realistic task
+#: index, so plan and sample streams never collide.
+_PLAN_STREAM = 2**31 - 1
 
 
 @dataclass(frozen=True)
@@ -88,6 +103,99 @@ class GenerationConfig:
             )
 
 
+@dataclass(frozen=True)
+class SampleTask:
+    """One planned sample of a dataset campaign.
+
+    The plan fixes everything that used to be drawn incrementally from the
+    generator's shared RNG — position, participant — plus the task index
+    that roots the sample's own random stream.  A ``SampleTask`` is
+    picklable, so it travels to pool workers unchanged.
+    """
+
+    index: int
+    activity: str
+    label: int
+    distance_m: float
+    angle_deg: float
+    participant: int
+    stature: float
+
+
+def plan_dataset_tasks(
+    config: GenerationConfig,
+    campaign_seed: int,
+    samples_per_class: int,
+    activities: "tuple[str, ...]" = ACTIVITY_NAMES,
+) -> "list[SampleTask]":
+    """The deterministic task list of one dataset campaign.
+
+    Positions follow the configured grid round-robin with random order and
+    participants are drawn per sample, exactly as the prototype campaign —
+    but from a dedicated planning stream
+    (``SeedSequence((campaign_seed, _PLAN_STREAM))``), so the plan is
+    identical no matter how the samples are later executed.
+    """
+    if samples_per_class < 1:
+        raise ValueError("samples_per_class must be >= 1")
+    plan_rng = np.random.default_rng(
+        np.random.SeedSequence((int(campaign_seed), _PLAN_STREAM))
+    )
+    positions = [(d, a) for d in config.distances_m for a in config.angles_deg]
+    tasks: "list[SampleTask]" = []
+    for activity in activities:
+        label = activity_label(activity)
+        order = plan_rng.permutation(
+            len(positions) * max(1, -(-samples_per_class // len(positions)))
+        )
+        for i in range(samples_per_class):
+            slot = int(order[i]) % len(positions)
+            distance, angle = positions[slot]
+            participant = int(plan_rng.integers(len(config.participants)))
+            tasks.append(
+                SampleTask(
+                    index=len(tasks),
+                    activity=activity,
+                    label=label,
+                    distance_m=distance,
+                    angle_deg=angle,
+                    participant=participant,
+                    stature=config.participants[participant],
+                )
+            )
+    return tasks
+
+
+#: Per-worker-process generator cache: workers rebuild the (expensive)
+#: environment facet set once, then reuse it for every task they run.
+_WORKER_GENERATORS: "dict[tuple, SampleGenerator]" = {}
+
+
+def _synthesize_sample_task(
+    config: GenerationConfig,
+    campaign_seed: int,
+    environment_seed: int,
+    task: SampleTask,
+    attachment_mesh: "TriangleMesh | None",
+) -> np.ndarray:
+    """Pool worker entry point: synthesize one planned sample.
+
+    Module-level (hence picklable) and deterministic in its arguments:
+    the worker-local generator contributes only the environment facets,
+    which depend solely on ``environment_seed``.
+    """
+    key = (repr(config), int(environment_seed))
+    generator = _WORKER_GENERATORS.get(key)
+    if generator is None:
+        generator = SampleGenerator(
+            config, seed=campaign_seed, environment_seed=environment_seed
+        )
+        _WORKER_GENERATORS[key] = generator
+    return generator.synthesize_planned_sample(
+        campaign_seed, task, attachment_mesh
+    ).astype(np.float32)
+
+
 class SampleGenerator:
     """Generates labeled DRAI heatmap samples through the RF simulator.
 
@@ -103,10 +211,12 @@ class SampleGenerator:
         environment_seed: int | None = None,
     ):
         self.config = config or GenerationConfig()
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
-        env_rng = np.random.default_rng(
+        self.environment_seed = (
             seed + 7919 if environment_seed is None else environment_seed
         )
+        env_rng = np.random.default_rng(self.environment_seed)
         self.simulator = FmcwRadarSimulator(self.config.radar)
         self._models: "dict[float, HumanModel]" = {}
         if self.config.environment_objects > 0:
@@ -284,6 +394,34 @@ class SampleGenerator:
     # ------------------------------------------------------------------
     # Dataset synthesis
     # ------------------------------------------------------------------
+    def synthesize_planned_sample(
+        self,
+        campaign_seed: int,
+        task: SampleTask,
+        attachment_mesh: TriangleMesh | None = None,
+    ) -> np.ndarray:
+        """One planned sample, from its own derived random stream.
+
+        The sample's RNG is rooted at
+        ``SeedSequence((campaign_seed, task.index))`` for exactly the
+        duration of the synthesis, so the result depends only on the plan —
+        the worker, execution order, and this generator's shared stream
+        are all irrelevant.
+        """
+        rng = np.random.default_rng(derive_task_seed(campaign_seed, task.index))
+        original_rng = self.rng
+        self.rng = rng
+        try:
+            return self.generate_sample(
+                task.activity,
+                task.distance_m,
+                task.angle_deg,
+                stature=task.stature,
+                attachment_mesh=attachment_mesh,
+            )
+        finally:
+            self.rng = original_rng
+
     def generate_dataset(
         self,
         samples_per_class: int,
@@ -291,66 +429,98 @@ class SampleGenerator:
         attachment_mesh: TriangleMesh | None = None,
         attachment_name: str = "",
         progress: bool = False,
+        workers: int = 1,
+        pool_config: "PoolConfig | None" = None,
     ) -> HeatmapDataset:
         """A dataset cycling positions and participants per class.
 
         Positions follow the configured grid round-robin with random
         order, so every class covers all distances/angles/participants as
-        in the prototype campaign.
+        in the prototype campaign.  ``workers > 1`` fans sample synthesis
+        out across a supervised process pool; the result is bit-identical
+        to the serial path because every sample draws from a per-task seed
+        derived from ``(campaign seed, task index)``.
         """
         if samples_per_class < 1:
             raise ValueError("samples_per_class must be >= 1")
+        plan = plan_dataset_tasks(
+            self.config, self.seed, samples_per_class, activities
+        )
         with span(
             "dataset.generate",
             samples_per_class=samples_per_class,
             activities=len(activities),
+            workers=workers,
         ):
-            return self._generate_dataset(
-                samples_per_class, activities, attachment_mesh, attachment_name,
-                progress,
+            if workers <= 1 and pool_config is None:
+                xs = self._synthesize_serial(plan, attachment_mesh, progress)
+            else:
+                xs = self._synthesize_pooled(
+                    plan, attachment_mesh, workers, pool_config
+                )
+        metas = [
+            SampleMeta(
+                activity=task.activity,
+                distance_m=task.distance_m,
+                angle_deg=task.angle_deg,
+                participant=task.participant,
+                has_trigger=attachment_mesh is not None,
+                trigger_attachment=attachment_name,
             )
-
-    def _generate_dataset(
-        self,
-        samples_per_class: int,
-        activities: "tuple[str, ...]",
-        attachment_mesh: "TriangleMesh | None",
-        attachment_name: str,
-        progress: bool,
-    ) -> HeatmapDataset:
-        positions = [
-            (d, a) for d in self.config.distances_m for a in self.config.angles_deg
+            for task in plan
         ]
-        xs, ys, metas = [], [], []
-        for activity in activities:
-            label = activity_label(activity)
-            order = self.rng.permutation(len(positions) * max(
-                1, -(-samples_per_class // len(positions))
-            ))
-            for i in range(samples_per_class):
-                slot = int(order[i]) % len(positions)
-                distance, angle = positions[slot]
-                participant = int(self.rng.integers(len(self.config.participants)))
-                stature = self.config.participants[participant]
-                heatmaps = self.generate_sample(
-                    activity,
-                    distance,
-                    angle,
-                    stature=stature,
-                    attachment_mesh=attachment_mesh,
-                )
-                xs.append(heatmaps.astype(np.float32))
-                ys.append(label)
-                metas.append(
-                    SampleMeta(
-                        activity=activity,
-                        distance_m=distance,
-                        angle_deg=angle,
-                        participant=participant,
-                        has_trigger=attachment_mesh is not None,
-                        trigger_attachment=attachment_name,
-                    )
-                )
-            if progress:  # pragma: no cover - console output
-                print(f"generated {samples_per_class} x {activity}")
-        return HeatmapDataset(np.stack(xs), np.asarray(ys), metas)
+        labels = np.asarray([task.label for task in plan])
+        return HeatmapDataset(np.stack(xs), labels, metas)
+
+    def _synthesize_serial(
+        self,
+        plan: "list[SampleTask]",
+        attachment_mesh: "TriangleMesh | None",
+        progress: bool,
+    ) -> "list[np.ndarray]":
+        xs = []
+        done_per_activity = 0
+        for task in plan:
+            xs.append(
+                self.synthesize_planned_sample(
+                    self.seed, task, attachment_mesh
+                ).astype(np.float32)
+            )
+            done_per_activity += 1
+            next_task = plan[len(xs)] if len(xs) < len(plan) else None
+            if next_task is None or next_task.activity != task.activity:
+                if progress:  # pragma: no cover - console output
+                    print(f"generated {done_per_activity} x {task.activity}")
+                done_per_activity = 0
+        return xs
+
+    def _synthesize_pooled(
+        self,
+        plan: "list[SampleTask]",
+        attachment_mesh: "TriangleMesh | None",
+        workers: int,
+        pool_config: "PoolConfig | None",
+    ) -> "list[np.ndarray]":
+        config = pool_config or PoolConfig(workers=workers)
+        tasks = [
+            PoolTask(
+                key=f"sample-{task.index:06d}",
+                fn=_synthesize_sample_task,
+                args=(
+                    self.config,
+                    self.seed,
+                    self.environment_seed,
+                    task,
+                    attachment_mesh,
+                ),
+            )
+            for task in plan
+        ]
+        results = run_tasks(tasks, config)
+        failed = [result for result in results if not result.ok]
+        if failed:
+            raise SimulationError(
+                f"{len(failed)}/{len(tasks)} dataset samples failed after "
+                f"retries; first: {failed[0].key}: {failed[0].error}"
+            )
+        return [result.value for result in results]

@@ -76,10 +76,13 @@ class ExperimentContext:
         preset: ExperimentPreset | None = None,
         seed: int = 0,
         use_disk_cache: bool = True,
+        workers: int = 1,
     ):
         self.preset = preset or DEFAULT
         self.seed = seed
         self.use_disk_cache = use_disk_cache
+        #: Process-pool width for dataset generation (1 = in-process).
+        self.workers = max(1, int(workers))
         self._train_generator: SampleGenerator | None = None
         self._attacker_generator: SampleGenerator | None = None
         self._attack_generator: SampleGenerator | None = None
@@ -133,15 +136,24 @@ class ExperimentContext:
             "num_frames": self.preset.num_frames,
             "samples_per_class": samples_per_class,
             "seed": self.seed,
+            # Plan-based per-task seeding changed the sample stream; the
+            # marker keys those bytes so pre-pool archives regenerate.
+            # ``workers`` itself is deliberately absent: parallel output is
+            # bit-identical to serial, so any width shares one archive.
+            "sampling": "per-task-v1",
         }
         generator = getattr(self, f"{generator_name}_generator")
 
         def build() -> HeatmapDataset:
             _log.info(
-                "generating dataset kind=%s samples_per_class=%d preset=%s",
+                "generating dataset kind=%s samples_per_class=%d preset=%s "
+                "workers=%d",
                 generator_name, samples_per_class, self.preset.name,
+                self.workers,
             )
-            return generator.generate_dataset(samples_per_class=samples_per_class)
+            return generator.generate_dataset(
+                samples_per_class=samples_per_class, workers=self.workers
+            )
 
         with span(
             "stage.dataset",

@@ -12,15 +12,27 @@ registry, and :mod:`repro.runtime.records` persists one JSON run record
 per CLI invocation.
 """
 
+from .backoff import RetryPolicy, retry_call
 from .errors import (
     CacheCorruptionError,
     ExperimentError,
+    JournalError,
+    PoolError,
     ReproError,
     SimulationError,
     TrainingDivergenceError,
 )
 from .guards import all_finite, count_nonfinite, ensure_finite
+from .journal import SweepJournal
 from .logging import configure_logging, get_logger, level_for_verbosity, log_event
+from .pool import (
+    PoolConfig,
+    PoolTask,
+    TaskResult,
+    WorkerPool,
+    derive_task_seed,
+    run_tasks,
+)
 from .records import (
     RunRecord,
     format_run_record,
@@ -50,16 +62,25 @@ __all__ = [
     "FailureReport",
     "Gauge",
     "Histogram",
+    "JournalError",
     "MetricsRegistry",
+    "PoolConfig",
+    "PoolError",
+    "PoolTask",
     "ReproError",
+    "RetryPolicy",
     "RunRecord",
     "SimulationError",
     "Span",
+    "SweepJournal",
+    "TaskResult",
     "Telemetry",
     "TrainingDivergenceError",
+    "WorkerPool",
     "all_finite",
     "configure_logging",
     "count_nonfinite",
+    "derive_task_seed",
     "ensure_finite",
     "format_run_record",
     "get_logger",
@@ -68,7 +89,9 @@ __all__ = [
     "load_run_record",
     "log_event",
     "metrics",
+    "retry_call",
     "run_experiments",
+    "run_tasks",
     "span",
     "telemetry",
     "traced",

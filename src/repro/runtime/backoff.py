@@ -1,0 +1,116 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+The policy object is shared by every robustness layer that re-attempts
+work: the supervised worker pool re-queues crashed/timed-out tasks with a
+:meth:`RetryPolicy.delay_s` cool-down, and the dataset cache retries
+transient ``OSError`` reads before escalating to quarantine.
+
+Jitter is *seeded*, not wall-clock random: the same ``(seed, attempt)``
+pair always yields the same delay, so retry schedules are reproducible in
+tests and across a resumed sweep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .logging import get_logger
+
+_log = get_logger("runtime.backoff")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with bounded, deterministic jitter.
+
+    ``max_attempts`` counts *total* tries (first attempt included), so
+    ``max_attempts=1`` means "never retry".
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    #: Fractional jitter: each delay is scaled by a deterministic factor
+    #: drawn from ``[1 - jitter, 1 + jitter]``.
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0.0 or self.max_delay_s < 0.0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_s(self, attempt: int, seed: int = 0) -> float:
+        """Cool-down before retry number ``attempt`` (1 = first retry).
+
+        Deterministic in ``(attempt, seed)``; different seeds (e.g. task
+        indices) de-synchronize retry storms across a pool.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s
+        )
+        if self.jitter > 0.0 and raw > 0.0:
+            rng = random.Random((int(seed) << 16) ^ attempt)
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def retries_remaining(self, attempt: int) -> bool:
+        """True while attempt number ``attempt`` (1-based) is allowed."""
+        return attempt <= self.max_attempts
+
+
+#: Conservative default used by cache reads: three quick tries.
+TRANSIENT_IO_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.02, max_delay_s=0.25
+)
+
+
+def retry_call(
+    fn: Callable,
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: "type[BaseException] | tuple[type[BaseException], ...]" = Exception,
+    should_retry: "Callable[[BaseException], bool] | None" = None,
+    sleep: Callable[[float], None] = time.sleep,
+    seed: int = 0,
+    on_retry: "Callable[[int, BaseException], None] | None" = None,
+):
+    """Call ``fn()`` under ``policy``, retrying matching exceptions.
+
+    An exception is retried when it is an instance of ``retry_on`` *and*
+    ``should_retry(exc)`` (when given) returns True; anything else —
+    including the final exhausted attempt — propagates unchanged.
+    ``on_retry(attempt, exc)`` observes each scheduled retry (for metrics
+    or logging); ``sleep`` is injectable so tests never wait.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if should_retry is not None and not should_retry(exc):
+                raise
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay_s(attempt, seed=seed)
+            _log.warning(
+                "retrying after %s: attempt=%d/%d delay=%.3fs",
+                f"{type(exc).__name__}: {exc}",
+                attempt,
+                policy.max_attempts,
+                delay,
+            )
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if delay > 0.0:
+                sleep(delay)
+            attempt += 1

@@ -11,7 +11,9 @@ The hierarchy mirrors the pipeline stages::
     ├── CacheCorruptionError      dataset cache archive unusable
     ├── SimulationError           simulator produced non-finite output
     ├── TrainingDivergenceError   NaN/Inf loss during Trainer.fit
-    └── ExperimentError           one experiment of a sweep failed
+    ├── ExperimentError           one experiment of a sweep failed
+    ├── PoolError                 the worker pool itself is unusable
+    └── JournalError              sweep journal unusable for resume
 """
 
 from __future__ import annotations
@@ -57,3 +59,26 @@ class ExperimentError(ReproError):
         super().__init__(f"experiment {name!r} failed: {cause!r}")
         self.name = name
         self.cause = cause
+
+
+class PoolError(ReproError):
+    """The worker pool cannot run at all (e.g. no worker could start).
+
+    Task-level failures never raise this — they become failed results;
+    ``PoolError`` marks pool-level breakage, which the executor answers by
+    degrading to the serial in-process path.
+    """
+
+
+class JournalError(ReproError):
+    """A sweep journal cannot be used for the requested resume.
+
+    Raised when the journal on disk belongs to a different campaign
+    (preset/seed/experiment-set mismatch), so a resume would silently mix
+    incompatible results.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"unusable sweep journal {path}: {reason}")
+        self.path = path
+        self.reason = reason

@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
+
+try:  # pragma: no cover - absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +154,96 @@ def failing_trainer(after_batches: int = 0):
         yield
     finally:
         trainer_module.clip_grad_norm = original
+
+
+# ----------------------------------------------------------------------
+# Worker-pool faults
+# ----------------------------------------------------------------------
+def _bump_shared_counter(path: "str | os.PathLike") -> int:
+    """Atomically increment a file-backed counter shared across processes.
+
+    The pool's retry attempts may land in *different* worker processes
+    (the first one is dead), so "n-th call" semantics need a counter that
+    survives the process — an flock-serialized file, not module state.
+    """
+    with open(path, "a+b") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        handle.seek(0)
+        raw = handle.read().strip()
+        count = (int(raw) if raw else 0) + 1
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(count).encode())
+        handle.flush()
+        os.fsync(handle.fileno())
+    return count
+
+
+@dataclass(frozen=True)
+class CrashingTask:
+    """Picklable pool task whose first ``crash_attempts`` calls kill the worker.
+
+    Each call bumps the shared counter; while it is ``<= crash_attempts``
+    the process dies via ``os._exit`` (no exception, no cleanup — the
+    failure signature of an OOM kill or segfault).  Later calls return
+    ``result``, so the pool's crash-retry path can be proven end to end:
+    with ``crash_attempts=1`` the retried task succeeds on a fresh worker;
+    with a large value the task exhausts its retries while the sweep
+    itself survives.
+    """
+
+    counter_path: str
+    crash_attempts: int = 1
+    exit_code: int = 1
+    result: str = "survived"
+
+    def __call__(self, *args, **kwargs) -> str:
+        count = _bump_shared_counter(self.counter_path)
+        if count <= self.crash_attempts:
+            os._exit(self.exit_code)
+        return self.result
+
+
+@dataclass(frozen=True)
+class HangingTask:
+    """Picklable pool task whose first ``hang_attempts`` calls hang.
+
+    The hang (default 60 s) is meant to blow well past any test deadline,
+    so the pool's deadline enforcement — kill the worker, requeue the
+    task — is what ends the attempt, never the sleep itself.
+    """
+
+    counter_path: str
+    hang_attempts: int = 1
+    hang_s: float = 60.0
+    result: str = "survived"
+
+    def __call__(self, *args, **kwargs) -> str:
+        count = _bump_shared_counter(self.counter_path)
+        if count <= self.hang_attempts:
+            time.sleep(self.hang_s)
+        return self.result
+
+
+@dataclass(frozen=True)
+class FlakyTask:
+    """Picklable pool task whose first ``fail_attempts`` calls raise.
+
+    Unlike :class:`CrashingTask` the worker survives (the exception is
+    shipped back over the pipe), exercising the in-worker retry path and
+    its backoff schedule rather than worker respawn.
+    """
+
+    counter_path: str
+    fail_attempts: int = 1
+    result: str = "survived"
+
+    def __call__(self, *args, **kwargs) -> str:
+        count = _bump_shared_counter(self.counter_path)
+        if count <= self.fail_attempts:
+            raise RuntimeError(f"injected flaky fault (call {count})")
+        return self.result
 
 
 @contextlib.contextmanager

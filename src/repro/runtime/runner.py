@@ -7,6 +7,18 @@ try/except boundary, records per-experiment outcome, wall time, and the
 full traceback, continues past failures, and lets the CLI exit non-zero
 only after the full sweep.
 
+Two further robustness layers ride on top:
+
+* **Journaling** — pass a :class:`~repro.runtime.journal.SweepJournal`
+  and every terminal outcome is checkpointed as it lands; experiments the
+  journal already marks ``done`` are skipped (their recorded outcome is
+  replayed into the report), which is what makes an interrupted sweep
+  resumable.
+* **Parallel sweeps** — :func:`run_experiments_parallel` fans whole
+  experiments out across a supervised
+  :class:`~repro.runtime.pool.WorkerPool`, inheriting its crash
+  isolation, deadlines, and retry/backoff.
+
 Timing rides on the telemetry layer: each experiment runs inside a forced
 ``experiment.<name>`` span (the repo's single wall-clock mechanism), and
 while tracing is enabled every outcome additionally carries a per-stage
@@ -18,10 +30,12 @@ from __future__ import annotations
 import logging
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from .errors import ExperimentError
+from .journal import SweepJournal
 from .logging import get_logger
+from .pool import PoolConfig, PoolTask, WorkerPool
 from .telemetry import telemetry
 
 _log = get_logger("runtime.runner")
@@ -43,6 +57,8 @@ class ExperimentOutcome:
     traceback: str = ""
     #: Span-name -> seconds spent during this experiment (tracing only).
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
+    #: True when the outcome was replayed from a sweep journal (resume).
+    resumed: bool = False
 
 
 @dataclass
@@ -70,7 +86,8 @@ class FailureReport:
             f"{len(self.outcomes)} experiments succeeded"
         ]
         for outcome in self.outcomes:
-            status = "ok    " if outcome.ok else "FAILED"
+            status = ("resume" if outcome.resumed else "ok    ") if outcome.ok \
+                else "FAILED"
             lines.append(
                 f"  {status} {outcome.name:<8} {outcome.wall_time_s:7.1f}s"
                 + (f"  {outcome.error}" if outcome.error else "")
@@ -106,19 +123,67 @@ def _stage_delta(before: "dict[str, float]", after: "dict[str, float]") -> "dict
     return delta
 
 
+def _replay_journaled(
+    name: str,
+    description: str,
+    journal: SweepJournal,
+    report: FailureReport,
+    emit: "Callable[[str], None]",
+) -> None:
+    """Skip an experiment the journal marks done; replay its outcome."""
+    entry = journal.entry(name) or {}
+    emit(f"=== {name}: {description} ===")
+    emit(f"--- {name} resumed from journal "
+         f"(finished in {entry.get('wall_time_s', 0.0):.1f}s) ---\n")
+    report.outcomes.append(
+        ExperimentOutcome(
+            name=name,
+            description=description,
+            ok=True,
+            wall_time_s=float(entry.get("wall_time_s", 0.0)),
+            resumed=True,
+        )
+    )
+
+
+def _journal_outcome(
+    journal: "SweepJournal | None", outcome: ExperimentOutcome, attempts: int = 1
+) -> None:
+    if journal is None:
+        return
+    journal.record(
+        outcome.name,
+        "done" if outcome.ok else "failed",
+        payload={"description": outcome.description, "error": outcome.error},
+        attempts=attempts,
+        wall_time_s=outcome.wall_time_s,
+    )
+
+
 def run_experiments(
     experiments: "list[tuple[str, str, Callable[[], str]]]",
     emit: "Callable[[str], None]" = print,
     isolate: bool = True,
+    journal: "SweepJournal | None" = None,
+    report: "FailureReport | None" = None,
 ) -> FailureReport:
     """Run ``(name, description, thunk)`` experiments, isolating failures.
 
     Each thunk's returned string is passed to ``emit`` (stdout by
     default).  With ``isolate=False`` the first failure re-raises as
     :class:`ExperimentError` — the behavior single-experiment runs want.
+
+    With a ``journal``, terminal outcomes are checkpointed as they land
+    and already-``done`` experiments are skipped (resume).  Passing a
+    ``report`` lets callers keep the partial outcomes when the sweep is
+    interrupted mid-flight (the report object is mutated in place).
     """
-    report = FailureReport()
+    report = report if report is not None else FailureReport()
+    completed = journal.completed_keys() if journal is not None else set()
     for name, description, thunk in experiments:
+        if name in completed:
+            _replay_journaled(name, description, journal, report, emit)
+            continue
         emit(f"=== {name}: {description} ===")
         totals_before = _span_totals()
         timer = telemetry().span(f"experiment.{name}", force=True)
@@ -129,17 +194,17 @@ def run_experiments(
             raise
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             elapsed = timer.duration_s
-            report.outcomes.append(
-                ExperimentOutcome(
-                    name=name,
-                    description=description,
-                    ok=False,
-                    wall_time_s=elapsed,
-                    error=f"{type(exc).__name__}: {exc}",
-                    traceback=traceback.format_exc(),
-                    stage_seconds=_stage_delta(totals_before, _span_totals()),
-                )
+            outcome = ExperimentOutcome(
+                name=name,
+                description=description,
+                ok=False,
+                wall_time_s=elapsed,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+                stage_seconds=_stage_delta(totals_before, _span_totals()),
             )
+            report.outcomes.append(outcome)
+            _journal_outcome(journal, outcome)
             _log.log(
                 logging.ERROR,
                 f"experiment failed name={name} error={type(exc).__name__}",
@@ -150,14 +215,70 @@ def run_experiments(
                 raise ExperimentError(name, exc) from exc
             continue
         elapsed = timer.duration_s
-        report.outcomes.append(
-            ExperimentOutcome(
-                name=name,
-                description=description,
-                ok=True,
-                wall_time_s=elapsed,
-                stage_seconds=_stage_delta(totals_before, _span_totals()),
-            )
+        outcome = ExperimentOutcome(
+            name=name,
+            description=description,
+            ok=True,
+            wall_time_s=elapsed,
+            stage_seconds=_stage_delta(totals_before, _span_totals()),
         )
+        report.outcomes.append(outcome)
+        _journal_outcome(journal, outcome)
         emit(f"--- {name} done in {elapsed:.1f}s ---\n")
+    return report
+
+
+def run_experiments_parallel(
+    experiments: "list[tuple[str, str, Callable, tuple]]",
+    pool_config: PoolConfig,
+    emit: "Callable[[str], None]" = print,
+    journal: "SweepJournal | None" = None,
+    report: "FailureReport | None" = None,
+) -> FailureReport:
+    """Fan whole experiments out across a supervised worker pool.
+
+    ``experiments`` is ``(name, description, fn, args)`` with a *picklable*
+    ``fn`` returning the printable result string (lambdas won't cross the
+    process boundary).  Each experiment inherits the pool's crash
+    isolation, deadline, and retry semantics; terminal outcomes land in
+    completion order, are journaled immediately, and ``KeyboardInterrupt``
+    leaves the partial outcomes in the caller-supplied ``report``.
+    """
+    report = report if report is not None else FailureReport()
+    completed = journal.completed_keys() if journal is not None else set()
+    descriptions: "dict[str, str]" = {}
+    tasks: "list[PoolTask]" = []
+    for name, description, fn, args in experiments:
+        descriptions[name] = description
+        if name in completed:
+            _replay_journaled(name, description, journal, report, emit)
+            continue
+        tasks.append(PoolTask(key=name, fn=fn, args=tuple(args)))
+
+    def on_result(result: "Any") -> None:
+        description = descriptions[result.key]
+        emit(f"=== {result.key}: {description} ===")
+        if result.ok:
+            emit(result.value)
+            emit(f"--- {result.key} done in {result.wall_time_s:.1f}s ---\n")
+        else:
+            _log.log(
+                logging.ERROR,
+                f"experiment failed name={result.key} error={result.error}",
+            )
+            emit(f"--- {result.key} FAILED after {result.wall_time_s:.1f}s: "
+                 f"{result.error} ---\n")
+        outcome = ExperimentOutcome(
+            name=result.key,
+            description=description,
+            ok=result.ok,
+            wall_time_s=result.wall_time_s,
+            error=result.error,
+            traceback=result.traceback,
+        )
+        report.outcomes.append(outcome)
+        _journal_outcome(journal, outcome, attempts=result.attempts)
+
+    with WorkerPool(pool_config) as pool:
+        pool.run(tasks, on_result=on_result)
     return report

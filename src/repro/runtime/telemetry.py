@@ -326,6 +326,23 @@ class Telemetry:
             with self._lock:
                 self._finished.append(span)
 
+    def record_span(
+        self, name: str, start_ns: int, end_ns: int, **attributes
+    ) -> None:
+        """Record an externally-timed span without touching the stack.
+
+        Used for concurrent regions (e.g. one pool task attempt per
+        worker) whose lifetimes overlap and therefore cannot nest through
+        the thread-local context-manager stack.
+        """
+        if not self.enabled:
+            return
+        span = Span(name, dict(attributes), self)
+        span.start_ns = int(start_ns)
+        span.end_ns = int(end_ns)
+        span.thread_id = threading.get_ident()
+        self._record(span)
+
     # -- control -------------------------------------------------------
     def enable(self) -> None:
         self.enabled = True

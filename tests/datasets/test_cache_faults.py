@@ -191,3 +191,95 @@ def test_suffixless_path_normalization_round_trip(tmp_path):
     assert written == tmp_path / "ds.npz"
     assert np.allclose(load_dataset(tmp_path / "ds").x, ds.x)
     assert np.allclose(load_dataset(tmp_path / "ds.npz").x, ds.x)
+
+
+# ----------------------------------------------------------------------
+# Transient-read retry: OSError-caused failures heal, structural ones don't
+# ----------------------------------------------------------------------
+def test_cached_dataset_retries_transient_oserror(tmp_path, monkeypatch):
+    import repro.datasets.cache as cache_module
+    from repro.runtime.telemetry import metrics
+
+    params = {"n": 1}
+    cached_dataset(params, make_dataset, cache_dir=tmp_path)
+    path = _cache_path(tmp_path, params)
+
+    real_load = cache_module.load_dataset
+    failures = {"left": 2}
+
+    def flaky_load(archive_path):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise CacheCorruptionError(
+                archive_path, "unreadable archive (EIO)"
+            ) from OSError(5, "Input/output error")
+        return real_load(archive_path)
+
+    monkeypatch.setattr(cache_module, "load_dataset", flaky_load)
+    metrics().reset()
+
+    def builder():  # pragma: no cover - would mean the retry didn't heal
+        raise AssertionError("regenerated despite a healable read")
+
+    dataset = cached_dataset(params, builder, cache_dir=tmp_path)
+    assert len(dataset) == 6
+    assert metrics().counter("cache.read_retry").value == 2
+    assert metrics().counter("cache.hit").value == 1
+    assert metrics().counter("cache.quarantine").value == 0
+    assert path.exists()  # never quarantined
+
+
+def test_cached_dataset_does_not_retry_structural_corruption(tmp_path, monkeypatch):
+    import zipfile
+
+    import repro.datasets.cache as cache_module
+    from repro.runtime.telemetry import metrics
+
+    params = {"n": 1}
+    cached_dataset(params, make_dataset, cache_dir=tmp_path)
+
+    attempts = []
+    real_load = cache_module.load_dataset
+
+    def corrupt_load(archive_path):
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise CacheCorruptionError(
+                archive_path, "unreadable archive (bad zip)"
+            ) from zipfile.BadZipFile("File is not a zip file")
+        return real_load(archive_path)
+
+    monkeypatch.setattr(cache_module, "load_dataset", corrupt_load)
+    metrics().reset()
+    dataset = cached_dataset(params, make_dataset, cache_dir=tmp_path)
+    assert len(dataset) == 6
+    # Structural damage goes straight to quarantine: exactly one read try.
+    assert len(attempts) == 1
+    assert metrics().counter("cache.read_retry").value == 0
+    assert metrics().counter("cache.quarantine").value == 1
+
+
+def test_cached_dataset_exhausted_retries_still_quarantine(tmp_path, monkeypatch):
+    import repro.datasets.cache as cache_module
+    from repro.runtime.telemetry import metrics
+
+    params = {"n": 1}
+    cached_dataset(params, make_dataset, cache_dir=tmp_path)
+
+    def always_eio(archive_path):
+        raise CacheCorruptionError(
+            archive_path, "unreadable archive (EIO)"
+        ) from OSError(5, "Input/output error")
+
+    monkeypatch.setattr(cache_module, "load_dataset", always_eio)
+    metrics().reset()
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return make_dataset()
+
+    dataset = cached_dataset(params, builder, cache_dir=tmp_path)
+    assert len(dataset) == 6
+    assert calls == [1]  # persistent unreadability -> regenerate once
+    assert metrics().counter("cache.quarantine").value == 1

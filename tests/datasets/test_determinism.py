@@ -19,6 +19,21 @@ def test_same_seed_generates_byte_identical_dataset(micro_generation_config):
     assert first.meta == second.meta
 
 
+def test_parallel_generation_is_byte_identical_to_serial(micro_generation_config):
+    """The pool must never change the science: fanning dataset generation
+    across workers has to produce the exact bytes the serial path does
+    (per-task seeds depend on the plan index, not the executing worker)."""
+    serial = SampleGenerator(micro_generation_config, seed=21).generate_dataset(
+        samples_per_class=2
+    )
+    parallel = SampleGenerator(micro_generation_config, seed=21).generate_dataset(
+        samples_per_class=2, workers=2
+    )
+    assert serial.x.tobytes() == parallel.x.tobytes()
+    assert serial.y.tobytes() == parallel.y.tobytes()
+    assert serial.meta == parallel.meta
+
+
 def test_different_seed_changes_dataset(micro_generation_config):
     first = SampleGenerator(micro_generation_config, seed=21).generate_dataset(
         samples_per_class=1

@@ -1,0 +1,135 @@
+"""RetryPolicy schedule math and the retry_call helper."""
+
+import pytest
+
+from repro.runtime.backoff import TRANSIENT_IO_POLICY, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=10.0, jitter=0.0)
+        assert policy.delay_s(1) == pytest.approx(0.1)
+        assert policy.delay_s(2) == pytest.approx(0.2)
+        assert policy.delay_s(3) == pytest.approx(0.4)
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=10.0, max_delay_s=2.0, jitter=0.0)
+        assert policy.delay_s(5) == pytest.approx(2.0)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, max_delay_s=1.0, jitter=0.25)
+        for attempt in range(1, 6):
+            for seed in range(5):
+                delay = policy.delay_s(attempt, seed=seed)
+                assert delay == policy.delay_s(attempt, seed=seed)
+                assert 0.75 <= delay <= 1.25
+
+    def test_jitter_desynchronizes_seeds(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.25)
+        delays = {policy.delay_s(1, seed=seed) for seed in range(8)}
+        assert len(delays) > 1
+
+    def test_invalid_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+    def test_retries_remaining(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.retries_remaining(1)
+        assert policy.retries_remaining(2)
+        assert not policy.retries_remaining(3)
+
+    def test_transient_io_policy_is_quick(self):
+        assert TRANSIENT_IO_POLICY.max_attempts == 3
+        assert TRANSIENT_IO_POLICY.delay_s(2, seed=0) <= 0.25 * 1.25
+
+
+class TestRetryCall:
+    def test_success_needs_no_retry(self):
+        sleeps = []
+        assert retry_call(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps = []
+        value = retry_call(
+            flaky, RetryPolicy(max_attempts=3, jitter=0.0), sleep=sleeps.append
+        )
+        assert value == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential growth
+
+    def test_exhaustion_reraises_original(self):
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            retry_call(
+                always_fails,
+                RetryPolicy(max_attempts=2, jitter=0.0),
+                sleep=lambda _: None,
+            )
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise ValueError("not retriable")
+
+        with pytest.raises(ValueError):
+            retry_call(fails, retry_on=OSError, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_should_retry_predicate_vetoes(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise OSError("terminal")
+
+        with pytest.raises(OSError):
+            retry_call(
+                fails,
+                retry_on=OSError,
+                should_retry=lambda exc: "transient" in str(exc),
+                sleep=lambda _: None,
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_observes_each_scheduled_retry(self):
+        calls = {"n": 0}
+        observed = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        retry_call(
+            flaky,
+            RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: observed.append((attempt, str(exc))),
+        )
+        assert observed == [(1, "transient"), (2, "transient")]
