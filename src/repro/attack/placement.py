@@ -141,8 +141,11 @@ def _score_candidate(
     """
     num_frames = len(base_cubes)
     trigger_local = trigger.mesh_at(position)
-    trigger_cubes = np.stack(
-        [simulator.frame_cube(trigger_local.transformed(tr)) for tr in transforms]
+    # Static rigid trigger, shared topology across frames: one batched
+    # sequence synthesis instead of a per-frame loop.
+    trigger_cubes = simulator.simulate_sequence(
+        [trigger_local.transformed(tr) for tr in transforms],
+        estimate_velocities=False,
     )
     poisoned = drai_sequence(base_cubes + trigger_cubes, heatmap_config)
     poisoned_features = surrogate.frame_features(poisoned)[0]

@@ -1,0 +1,378 @@
+"""Repeatable performance benchmark suite (``repro bench``).
+
+Times the pipeline's hot stages — simulator facet extraction, frame-cube
+synthesis, batched sequence synthesis, the FFT chain, DRAI generation, one
+training epoch, and placement candidate scoring — on a fixed, seeded
+workload, and reports the batched fast path's speedup over the pinned
+per-frame reference.  Results are written as a schema-versioned JSON
+(``BENCH_<UTC-date>.json``) so successive runs on the same machine are
+directly comparable and regressions show up as a diff.
+
+The workload is entirely deterministic (fixed seeds, fixed scene), so run
+to run variance comes only from the machine; each stage reports the min
+and mean over its repeats, and comparisons should use the min (the least
+noise-contaminated measurement).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from .attack.placement import _score_candidate
+from .attack.trigger import ReflectorTrigger
+from .datasets.generation import GenerationConfig, SampleGenerator
+from .geometry.human import BODY_ATTACHMENT_POINTS, HumanModel
+from .models.cnn_lstm import CNNLSTMClassifier, ModelConfig
+from .models.trainer import Trainer, TrainingConfig
+from .radar.heatmap import drai_sequence, drai_sequence_reference
+from .radar.processing import (
+    angle_fft_sequence,
+    doppler_fft_sequence,
+    range_fft_sequence,
+)
+from .runtime.logging import get_logger
+from .runtime.telemetry import telemetry
+
+_log = get_logger("bench")
+
+#: Bump when the result JSON layout changes so downstream tooling
+#: (CI schema validation, comparison scripts) can refuse mismatches.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """Size of the benchmark workload.
+
+    ``tiny`` exists for CI smoke runs (seconds), ``small`` for quick local
+    checks, and ``medium`` is the canonical preset whose committed results
+    document the batched path's speedup at the paper's 32-frame scale.
+    """
+
+    name: str
+    #: Frames per simulated activity sequence.
+    num_frames: int
+    #: Timing repeats for the synthesis/processing stages.
+    repeats: int
+    #: Sequences in the one-epoch training stage.
+    train_samples: int
+    #: Trigger positions scored in the placement stage.
+    placement_candidates: int
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 2 or self.repeats < 1:
+            raise ValueError("need >= 2 frames and >= 1 repeat")
+        if self.train_samples < 2 or self.placement_candidates < 1:
+            raise ValueError("need >= 2 train samples and >= 1 candidate")
+
+
+BENCH_PRESETS: "dict[str, BenchPreset]" = {
+    "tiny": BenchPreset("tiny", num_frames=6, repeats=2, train_samples=2,
+                        placement_candidates=1),
+    "small": BenchPreset("small", num_frames=16, repeats=3, train_samples=4,
+                         placement_candidates=2),
+    "medium": BenchPreset("medium", num_frames=32, repeats=5, train_samples=8,
+                          placement_candidates=4),
+}
+
+
+def _time_stage(fn, repeats: int) -> "dict[str, float]":
+    """min/mean/max wall time of ``fn`` over ``repeats`` runs (first run
+    doubles as warmup; the min is the comparison-grade number)."""
+    durations = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - start)
+    return {
+        "repeats": repeats,
+        "min_s": min(durations),
+        "mean_s": sum(durations) / len(durations),
+        "max_s": max(durations),
+    }
+
+
+def machine_info() -> "dict[str, object]":
+    info: "dict[str, object]" = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        import scipy
+
+        info["scipy"] = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a declared dependency
+        info["scipy"] = None
+    return info
+
+
+def run_bench(preset_name: str = "small") -> "dict[str, object]":
+    """Run every benchmark stage for one preset and return the result dict."""
+    if preset_name not in BENCH_PRESETS:
+        raise ValueError(
+            f"unknown bench preset {preset_name!r}; choose from {sorted(BENCH_PRESETS)}"
+        )
+    preset = BENCH_PRESETS[preset_name]
+    tel = telemetry()
+    tel.reset()
+    tel.enable()
+    try:
+        stages = _run_stages(preset)
+    finally:
+        tel.disable()
+
+    def _speedup(reference: str, fast: str) -> float:
+        return stages[reference]["min_s"] / stages[fast]["min_s"]
+
+    config = GenerationConfig(num_frames=preset.num_frames)
+    chirps_per_sequence = preset.num_frames * config.radar.chirp.num_chirps
+    sample_s = stages["sample.end_to_end"]["min_s"]
+    result: "dict[str, object]" = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "preset": {
+            "name": preset.name,
+            "num_frames": preset.num_frames,
+            "repeats": preset.repeats,
+            "train_samples": preset.train_samples,
+            "placement_candidates": preset.placement_candidates,
+        },
+        "machine": machine_info(),
+        "stages": stages,
+        "throughput": {
+            "chirps_per_s": chirps_per_sequence
+            / stages["simulator.sequence"]["min_s"],
+            "frames_per_s": preset.num_frames / sample_s,
+            "samples_per_s": 1.0 / sample_s,
+        },
+        "speedup": {
+            "simulate": _speedup("simulator.sequence_reference", "simulator.sequence"),
+            "drai": _speedup(
+                "process.drai_sequence_reference", "process.drai_sequence"
+            ),
+            "end_to_end": _speedup(
+                "sample.end_to_end_reference", "sample.end_to_end"
+            ),
+        },
+        "spans": {
+            name: entry
+            for name, entry in tel.aggregate().items()
+            if name.split(".")[0]
+            in ("simulate", "process", "dataset", "train", "attack")
+        },
+    }
+    return result
+
+
+def _run_stages(preset: BenchPreset) -> "dict[str, dict]":
+    """Execute and time every stage on the seeded workload."""
+    config = GenerationConfig(num_frames=preset.num_frames)
+    generator = SampleGenerator(config, seed=0)
+    simulator = generator.simulator
+    heatmap_config = config.heatmap
+    extras = generator._environment_facets or None
+    meshes = generator.sample_meshes("push", 1.0, 0.0)
+    light_repeats = preset.repeats * 4
+
+    stages: "dict[str, dict]" = {}
+    _log.info("bench: simulator stages (%d frames)", preset.num_frames)
+    stages["simulator.facet_set"] = _time_stage(
+        lambda: simulator.facet_set(meshes[0]), light_repeats
+    )
+    facets = simulator.facet_set(meshes[0])
+    stages["simulator.frame_cube"] = _time_stage(
+        lambda: simulator.frame_cube_from_facets(facets), light_repeats
+    )
+    stages["simulator.sequence"] = _time_stage(
+        lambda: simulator.simulate_sequence(meshes, extra_facets=extras),
+        preset.repeats,
+    )
+    stages["simulator.sequence_reference"] = _time_stage(
+        lambda: simulator.simulate_sequence_reference(meshes, extra_facets=extras),
+        preset.repeats,
+    )
+
+    _log.info("bench: processing stages")
+    cubes = simulator.simulate_sequence(meshes, extra_facets=extras)
+
+    def fft_chain() -> None:
+        profiles = range_fft_sequence(cubes)
+        doppler_fft_sequence(profiles)
+        angle_fft_sequence(profiles, heatmap_config.num_angle_bins)
+
+    stages["process.fft_chain"] = _time_stage(fft_chain, preset.repeats)
+    stages["process.drai_sequence"] = _time_stage(
+        lambda: drai_sequence(cubes, heatmap_config), preset.repeats
+    )
+    stages["process.drai_sequence_reference"] = _time_stage(
+        lambda: drai_sequence_reference(cubes, heatmap_config), preset.repeats
+    )
+
+    _log.info("bench: end-to-end sample generation")
+    stages["sample.end_to_end"] = _time_stage(
+        lambda: drai_sequence(
+            simulator.simulate_sequence(meshes, extra_facets=extras), heatmap_config
+        ),
+        preset.repeats,
+    )
+    stages["sample.end_to_end_reference"] = _time_stage(
+        lambda: drai_sequence_reference(
+            simulator.simulate_sequence_reference(meshes, extra_facets=extras),
+            heatmap_config,
+        ),
+        preset.repeats,
+    )
+
+    _log.info("bench: one training epoch (%d samples)", preset.train_samples)
+    heatmaps = drai_sequence(cubes, heatmap_config)
+    rng = np.random.default_rng(0)
+    x = np.stack(
+        [
+            heatmaps
+            + rng.normal(0.0, 0.01, heatmaps.shape).astype(heatmaps.dtype)
+            for _ in range(preset.train_samples)
+        ]
+    )
+    y = np.arange(preset.train_samples) % 6
+    model = CNNLSTMClassifier(
+        ModelConfig(frame_shape=heatmaps.shape[1:]), np.random.default_rng(0)
+    )
+    trainer = Trainer(
+        TrainingConfig(epochs=1, batch_size=4, patience=0, seed=0)
+    )
+    stages["train.epoch"] = _time_stage(
+        lambda: trainer.fit(model, x, y, validation=(x[:1], y[:1])),
+        max(1, preset.repeats // 2),
+    )
+
+    _log.info(
+        "bench: placement scoring (%d candidates)", preset.placement_candidates
+    )
+    bodies, transforms = generator.sample_scene("push", 1.0, 0.0)
+    scene_meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
+    base_cubes = simulator.simulate_sequence(scene_meshes, extra_facets=extras)
+    clean_heatmaps = drai_sequence(base_cubes, heatmap_config)
+    surrogate = CNNLSTMClassifier(
+        ModelConfig(frame_shape=clean_heatmaps.shape[1:]), np.random.default_rng(0)
+    )
+    clean_features = surrogate.frame_features(clean_heatmaps)[0]
+    trigger = ReflectorTrigger()
+    human = HumanModel()
+    candidates = [
+        human.attachment_point(name)
+        for name in list(BODY_ATTACHMENT_POINTS)[: preset.placement_candidates]
+    ]
+
+    def score_candidates() -> None:
+        for position in candidates:
+            _score_candidate(
+                simulator, surrogate, trigger, position, transforms,
+                base_cubes, clean_heatmaps, clean_features, heatmap_config,
+            )
+
+    stages["attack.placement_scoring"] = _time_stage(
+        score_candidates, max(1, preset.repeats // 2)
+    )
+    return stages
+
+
+def validate_bench_result(result: "dict[str, object]") -> None:
+    """Raise ``ValueError`` unless ``result`` matches the current schema.
+
+    Used by the test suite and the CI smoke job to catch accidental layout
+    drift before a malformed BENCH file lands in the repository.
+    """
+    if result.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {result.get('schema_version')!r} != {BENCH_SCHEMA_VERSION}"
+        )
+    for key in ("generated_utc", "preset", "machine", "stages", "throughput", "speedup"):
+        if key not in result:
+            raise ValueError(f"missing top-level key {key!r}")
+    stages = result["stages"]
+    required_stages = (
+        "simulator.facet_set",
+        "simulator.frame_cube",
+        "simulator.sequence",
+        "simulator.sequence_reference",
+        "process.fft_chain",
+        "process.drai_sequence",
+        "process.drai_sequence_reference",
+        "sample.end_to_end",
+        "sample.end_to_end_reference",
+        "train.epoch",
+        "attack.placement_scoring",
+    )
+    for name in required_stages:
+        if name not in stages:
+            raise ValueError(f"missing stage {name!r}")
+        entry = stages[name]
+        for field in ("repeats", "min_s", "mean_s", "max_s"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"stage {name!r} field {field!r} invalid: {value!r}")
+    for field in ("chirps_per_s", "frames_per_s", "samples_per_s"):
+        value = result["throughput"].get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"throughput field {field!r} invalid: {value!r}")
+    for field in ("simulate", "drai", "end_to_end"):
+        value = result["speedup"].get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"speedup field {field!r} invalid: {value!r}")
+
+
+def default_output_path(result: "dict[str, object]") -> Path:
+    """``BENCH_<UTC-date>.json`` in the current directory (the repo root
+    when invoked via ``repro bench`` from a checkout)."""
+    date = str(result["generated_utc"])[:10]
+    return Path(f"BENCH_{date}.json")
+
+
+def write_bench_result(
+    result: "dict[str, object]", output: "str | os.PathLike | None" = None
+) -> Path:
+    validate_bench_result(result)
+    path = Path(output) if output else default_output_path(result)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_bench_result(result: "dict[str, object]") -> str:
+    """Human-readable stage table + speedup summary."""
+    stages: "dict[str, dict]" = result["stages"]  # type: ignore[assignment]
+    width = max(len(name) for name in stages)
+    lines = [
+        f"benchmark preset {result['preset']['name']} "  # type: ignore[index]
+        f"({result['preset']['num_frames']} frames)",  # type: ignore[index]
+        f"{'stage':<{width}}  {'min':>10}  {'mean':>10}",
+    ]
+    for name, entry in stages.items():
+        lines.append(
+            f"{name:<{width}}  {entry['min_s'] * 1e3:>8.1f}ms  "
+            f"{entry['mean_s'] * 1e3:>8.1f}ms"
+        )
+    throughput = result["throughput"]  # type: ignore[assignment]
+    speedup = result["speedup"]  # type: ignore[assignment]
+    lines.append(
+        "throughput: {chirps:,.0f} chirps/s, {frames:,.1f} frames/s, "
+        "{samples:,.2f} samples/s".format(
+            chirps=throughput["chirps_per_s"],
+            frames=throughput["frames_per_s"],
+            samples=throughput["samples_per_s"],
+        )
+    )
+    lines.append(
+        "speedup vs per-frame reference: simulate {simulate:.2f}x, "
+        "drai {drai:.2f}x, end-to-end {end_to_end:.2f}x".format(**speedup)
+    )
+    return "\n".join(lines)

@@ -56,6 +56,13 @@ from .runtime.records import (
 from .runtime.runner import FailureReport, run_experiments, run_experiments_parallel
 from .runtime.telemetry import metrics, telemetry
 
+from .bench import (
+    BENCH_PRESETS,
+    format_bench_result,
+    run_bench,
+    write_bench_result,
+)
+
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
 from .eval import (
     ExperimentContext,
@@ -211,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--runs-dir", metavar="DIR", default=None,
                        help="directory holding run records")
+
+    bench = subparsers.add_parser(
+        "bench", help="run the performance benchmark suite"
+    )
+    bench.add_argument(
+        "--preset", default="small", choices=sorted(BENCH_PRESETS),
+        help="benchmark workload size (medium is the canonical preset)",
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="result JSON path (default BENCH_<UTC-date>.json in the "
+        "current directory)",
+    )
     return parser
 
 
@@ -318,6 +338,13 @@ def main(argv: "list[str] | None" = None) -> int:
         width = max(len(key) for key in EXPERIMENTS)
         for key, (description, _) in EXPERIMENTS.items():
             print(f"{key:<{width}}  {description}")
+        return 0
+
+    if args.command == "bench":
+        result = run_bench(args.preset)
+        path = write_bench_result(result, args.output)
+        print(format_bench_result(result))
+        log.info("benchmark result written to %s", path)
         return 0
 
     if args.command == "stats":

@@ -44,9 +44,11 @@ from .dataset import HeatmapDataset, SampleMeta
 
 _log = get_logger("datasets.cache")
 
-#: Bump when the on-disk archive layout changes; loaders refuse other
-#: versions so stale archives regenerate instead of half-deserializing.
-CACHE_SCHEMA_VERSION = 2
+#: Bump when the on-disk archive layout changes OR the generated data's
+#: numerics change; loaders refuse other versions so stale archives
+#: regenerate instead of half-deserializing.  v3: batched complex64
+#: simulator/heatmap pipeline (float32 heatmaps).
+CACHE_SCHEMA_VERSION = 3
 
 _META_FIELDS = (
     "activity",

@@ -38,7 +38,9 @@ from .visibility import (
     facing_mask,
     incidence_cosines,
     occlusion_mask,
+    visibility_geometry,
     visible_mask,
+    visible_mask_from_geometry,
     visible_submesh,
 )
 
@@ -72,6 +74,8 @@ __all__ = [
     "save_obj",
     "subject_placement",
     "uv_sphere",
+    "visibility_geometry",
     "visible_mask",
+    "visible_mask_from_geometry",
     "visible_submesh",
 ]

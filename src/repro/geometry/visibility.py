@@ -5,6 +5,12 @@ surface that is reachable by the radar": facets whose outward normal faces
 the sensor.  We implement backface culling plus an optional coarse occlusion
 test that discards facets hidden behind nearer geometry in the same angular
 sector — enough fidelity for heatmap synthesis without full ray tracing.
+
+Two call shapes are supported.  The classic per-mesh functions take a
+:class:`TriangleMesh`; the ``*_from_geometry`` variants take already-derived
+centroid/normal arrays with arbitrary leading batch dimensions, which is how
+the batched simulator runs visibility for a whole ``(T, F)`` pose sequence
+in one pass instead of once per frame.
 """
 
 from __future__ import annotations
@@ -14,19 +20,33 @@ import numpy as np
 from .mesh import TriangleMesh
 
 
+def cos_incidence_from_geometry(
+    centroids: np.ndarray, normals: np.ndarray, radar_position: np.ndarray
+) -> np.ndarray:
+    """Signed incidence cosine for ``(..., F, 3)`` centroid/normal stacks.
+
+    Positive values face the radar; the magnitude is the geometric gain
+    factor ``A_g`` in Eq. 3 once clipped at zero.
+    """
+    radar_position = np.asarray(radar_position, dtype=float)
+    to_radar = radar_position - centroids
+    distances = np.linalg.norm(to_radar, axis=-1, keepdims=True)
+    distances = np.where(distances > 0.0, distances, 1.0)
+    return (normals * (to_radar / distances)).sum(axis=-1)
+
+
 def facing_mask(mesh: TriangleMesh, radar_position: np.ndarray) -> np.ndarray:
     """Boolean ``(F,)`` mask of faces whose front side faces the radar.
 
     A face "faces" the radar when the angle between its outward normal and
     the direction to the radar is below 90 degrees.
     """
-    radar_position = np.asarray(radar_position, dtype=float)
-    centroids = mesh.face_centroids()
-    to_radar = radar_position[None, :] - centroids
-    distances = np.linalg.norm(to_radar, axis=1, keepdims=True)
-    distances = np.where(distances > 0.0, distances, 1.0)
-    cos_incidence = (mesh.face_normals() * (to_radar / distances)).sum(axis=1)
-    return cos_incidence > 0.0
+    return (
+        cos_incidence_from_geometry(
+            mesh.face_centroids(), mesh.face_normals(), radar_position
+        )
+        > 0.0
+    )
 
 
 def incidence_cosines(mesh: TriangleMesh, radar_position: np.ndarray) -> np.ndarray:
@@ -35,13 +55,56 @@ def incidence_cosines(mesh: TriangleMesh, radar_position: np.ndarray) -> np.ndar
     Used as the geometric gain factor ``A_g`` in Eq. 3: a facet seen
     edge-on reflects nothing back, a facet seen square-on reflects fully.
     """
+    return np.clip(
+        cos_incidence_from_geometry(
+            mesh.face_centroids(), mesh.face_normals(), radar_position
+        ),
+        0.0,
+        None,
+    )
+
+
+def occlusion_mask_from_geometry(
+    centroids: np.ndarray,
+    radar_position: np.ndarray,
+    azimuth_bins: int = 48,
+    elevation_bins: int = 24,
+    depth_slack_m: float = 0.12,
+) -> np.ndarray:
+    """Coarse sector occlusion for ``(..., F, 3)`` centroid stacks.
+
+    The sphere of directions around the radar is divided into an
+    azimuth/elevation grid; within each cell only facets within
+    ``depth_slack_m`` of the nearest facet survive.  Leading batch
+    dimensions (e.g. the frame axis of a pose sequence) are occluded
+    independently: each frame competes only against its own geometry.
+    """
     radar_position = np.asarray(radar_position, dtype=float)
-    centroids = mesh.face_centroids()
-    to_radar = radar_position[None, :] - centroids
-    distances = np.linalg.norm(to_radar, axis=1, keepdims=True)
-    distances = np.where(distances > 0.0, distances, 1.0)
-    cos_incidence = (mesh.face_normals() * (to_radar / distances)).sum(axis=1)
-    return np.clip(cos_incidence, 0.0, None)
+    centroids = np.asarray(centroids, dtype=float)
+    rel = centroids - radar_position
+    distances = np.linalg.norm(rel, axis=-1)
+    safe = np.where(distances > 0.0, distances, 1.0)
+    azimuth = np.arctan2(rel[..., 0], rel[..., 1])
+    elevation = np.arcsin(np.clip(rel[..., 2] / safe, -1.0, 1.0))
+
+    az_idx = np.clip(
+        ((azimuth + np.pi) / (2.0 * np.pi) * azimuth_bins).astype(int), 0, azimuth_bins - 1
+    )
+    el_idx = np.clip(
+        ((elevation + np.pi / 2.0) / np.pi * elevation_bins).astype(int), 0, elevation_bins - 1
+    )
+    cell = az_idx * elevation_bins + el_idx
+
+    # One scatter-min over all batch entries: offset each batch element's
+    # cell indices into its own block of the flattened depth table.
+    num_cells = azimuth_bins * elevation_bins
+    batch_shape = distances.shape[:-1]
+    num_batches = int(np.prod(batch_shape)) if batch_shape else 1
+    offsets = np.arange(num_batches).reshape(batch_shape + (1,)) * num_cells
+    flat_cell = (cell + offsets).reshape(-1)
+    min_depth = np.full(num_batches * num_cells, np.inf)
+    np.minimum.at(min_depth, flat_cell, distances.reshape(-1))
+    return distances <= min_depth[flat_cell].reshape(distances.shape) + depth_slack_m
 
 
 def occlusion_mask(
@@ -53,31 +116,63 @@ def occlusion_mask(
 ) -> np.ndarray:
     """Coarse sector-based occlusion: keep faces near the closest surface.
 
-    The sphere of directions around the radar is divided into an
-    azimuth/elevation grid; within each cell only facets within
-    ``depth_slack_m`` of the nearest facet survive.  This captures the
-    dominant effect (the torso hides the back of the body; the body hides
-    furniture directly behind it) at a tiny fraction of ray-tracing cost.
+    This captures the dominant effect (the torso hides the back of the
+    body; the body hides furniture directly behind it) at a tiny fraction
+    of ray-tracing cost.
     """
-    radar_position = np.asarray(radar_position, dtype=float)
+    return occlusion_mask_from_geometry(
+        mesh.face_centroids(),
+        radar_position,
+        azimuth_bins=azimuth_bins,
+        elevation_bins=elevation_bins,
+        depth_slack_m=depth_slack_m,
+    )
+
+
+def visible_mask_from_geometry(
+    centroids: np.ndarray,
+    normals: np.ndarray,
+    radar_position: np.ndarray,
+    use_occlusion: bool = True,
+    depth_slack_m: float = 0.12,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """(visibility mask, signed incidence cosines) for geometry stacks.
+
+    One shared pass over ``(..., F, 3)`` centroids/normals: the cosines
+    computed for backface culling are returned so callers (the simulator's
+    facet extraction) never re-derive them per frame.
+    """
+    cos = cos_incidence_from_geometry(centroids, normals, radar_position)
+    mask = cos > 0.0
+    if use_occlusion and centroids.shape[-2]:
+        mask &= occlusion_mask_from_geometry(
+            centroids, radar_position, depth_slack_m=depth_slack_m
+        )
+    return mask, cos
+
+
+def visibility_geometry(
+    mesh: TriangleMesh,
+    radar_position: np.ndarray,
+    use_occlusion: bool = True,
+    depth_slack_m: float = 0.12,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """(mask, incidence cosines, centroids) from one geometry pass.
+
+    The mask-producing pass already needs centroids and incidence cosines;
+    returning them lets :meth:`FmcwRadarSimulator.facet_set` apply the mask
+    *before* computing areas and amplitudes instead of deriving everything
+    for every (mostly occluded) face and masking afterwards.
+    """
     centroids = mesh.face_centroids()
-    rel = centroids - radar_position[None, :]
-    distances = np.linalg.norm(rel, axis=1)
-    safe = np.where(distances > 0.0, distances, 1.0)
-    azimuth = np.arctan2(rel[:, 0], rel[:, 1])
-    elevation = np.arcsin(np.clip(rel[:, 2] / safe, -1.0, 1.0))
-
-    az_idx = np.clip(
-        ((azimuth + np.pi) / (2.0 * np.pi) * azimuth_bins).astype(int), 0, azimuth_bins - 1
+    mask, cos = visible_mask_from_geometry(
+        centroids,
+        mesh.face_normals(),
+        radar_position,
+        use_occlusion=use_occlusion,
+        depth_slack_m=depth_slack_m,
     )
-    el_idx = np.clip(
-        ((elevation + np.pi / 2.0) / np.pi * elevation_bins).astype(int), 0, elevation_bins - 1
-    )
-    cell = az_idx * elevation_bins + el_idx
-
-    min_depth = np.full(azimuth_bins * elevation_bins, np.inf)
-    np.minimum.at(min_depth, cell, distances)
-    return distances <= min_depth[cell] + depth_slack_m
+    return mask, cos, centroids
 
 
 def visible_mask(
@@ -87,9 +182,9 @@ def visible_mask(
     depth_slack_m: float = 0.12,
 ) -> np.ndarray:
     """Combined backface + occlusion visibility mask."""
-    mask = facing_mask(mesh, radar_position)
-    if use_occlusion and mesh.num_faces:
-        mask &= occlusion_mask(mesh, radar_position, depth_slack_m=depth_slack_m)
+    mask, _, _ = visibility_geometry(
+        mesh, radar_position, use_occlusion=use_occlusion, depth_slack_m=depth_slack_m
+    )
     return mask
 
 

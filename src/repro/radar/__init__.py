@@ -12,9 +12,11 @@ from .heatmap import (
     HeatmapConfig,
     drai_frame,
     drai_sequence,
+    drai_sequence_reference,
     heatmap_deviation,
     rdi_frame,
     rdi_sequence,
+    rdi_sequence_reference,
 )
 from .noise import add_thermal_noise, random_environment
 from .pointcloud import (
@@ -27,12 +29,15 @@ from .pointcloud import (
 from .processing import (
     angle_axis_degrees,
     angle_fft,
+    angle_fft_sequence,
     doppler_fft,
+    doppler_fft_sequence,
     hann_window,
     integrate_chirps,
     log_compress,
     mti_filter,
     range_fft,
+    range_fft_sequence,
 )
 from .simulator import FacetSet, FmcwRadarSimulator, RadarConfig
 
@@ -51,9 +56,12 @@ __all__ = [
     "angle_axis_degrees",
     "ca_cfar_2d",
     "angle_fft",
+    "angle_fft_sequence",
     "doppler_fft",
+    "doppler_fft_sequence",
     "drai_frame",
     "drai_sequence",
+    "drai_sequence_reference",
     "extract_pointcloud",
     "hann_window",
     "heatmap_deviation",
@@ -63,6 +71,8 @@ __all__ = [
     "pointcloud_sequence",
     "random_environment",
     "range_fft",
+    "range_fft_sequence",
     "rdi_frame",
     "rdi_sequence",
+    "rdi_sequence_reference",
 ]

@@ -20,11 +20,14 @@ from ..runtime.telemetry import span
 from .chirp import ChirpConfig
 from .processing import (
     angle_fft,
+    angle_fft_sequence,
     doppler_fft,
+    doppler_fft_sequence,
     integrate_chirps,
     log_compress,
     mti_filter,
     range_fft,
+    range_fft_sequence,
 )
 
 
@@ -110,7 +113,9 @@ def _finalize(frames: np.ndarray, config: HeatmapConfig) -> np.ndarray:
         return frames
     scaled = frames / peak
     if config.log_scale > 0.0:
-        return log_compress(scaled, config.log_scale) / np.log1p(config.log_scale)
+        # float(...) keeps the divisor a weak scalar so float32 sequences
+        # from the batched kernels are not silently promoted to float64.
+        return log_compress(scaled, config.log_scale) / float(np.log1p(config.log_scale))
     return scaled
 
 
@@ -161,8 +166,38 @@ def drai_frame(
     return magnitude[config.range_bin_start : config.range_bin_stop]
 
 
+def _remove_clutter_sequence(profiles: np.ndarray, config: HeatmapConfig) -> np.ndarray:
+    """Sequence-level clutter removal on ``(T, N_s, N_c, K)`` range profiles."""
+    if config.clutter_removal == "background":
+        background = profiles.mean(axis=(0, 2), keepdims=True)
+        return profiles - background
+    if config.clutter_removal == "mti":
+        return profiles - profiles.mean(axis=2, keepdims=True)
+    return profiles
+
+
 def rdi_sequence(cubes: np.ndarray, config: HeatmapConfig | None = None) -> np.ndarray:
-    """RDI heatmaps ``(T, num_range_bins, num_chirps)`` for an IF sequence."""
+    """RDI heatmaps ``(T, num_range_bins, num_chirps)`` for an IF sequence.
+
+    Batched: one Range-FFT and one Doppler-FFT over the whole
+    ``(T, N_s, N_c, K)`` tensor in complex64, yielding float32 heatmaps.
+    :func:`rdi_sequence_reference` is the pinned per-frame float64 path.
+    """
+    config = config or DEFAULT_HEATMAP_CONFIG
+    with span("process.rdi_sequence", frames=len(cubes)):
+        profiles = range_fft_sequence(np.asarray(cubes))
+        # The Doppler-FFT acts per range row, so cropping first is exact
+        # and halves the transform work.
+        profiles = profiles[:, config.range_bin_start : config.range_bin_stop]
+        spectra = doppler_fft_sequence(profiles)
+        frames = np.abs(spectra).sum(axis=-1)  # (T, crop, N_c) float32
+        return _finalize(frames, config)
+
+
+def rdi_sequence_reference(
+    cubes: np.ndarray, config: HeatmapConfig | None = None
+) -> np.ndarray:
+    """Per-frame RDI reference the batched path is equivalence-tested against."""
     config = config or DEFAULT_HEATMAP_CONFIG
     frames = np.stack([rdi_frame(cube, config) for cube in cubes])
     return _finalize(frames, config)
@@ -180,15 +215,39 @@ def drai_sequence(
     clutter map): static scene returns vanish while the gesturing hand —
     which occupies different cells in different frames — survives
     regardless of its motion direction.
+
+    The whole chain is batched: one FFT call per axis over the
+    ``(T, N_s, N_c, K)`` tensor, complex64 spectra, float32 heatmaps.
+    :func:`drai_sequence_reference` keeps the per-frame float64 chain as
+    the pinned numerical oracle.
     """
     config = config or DEFAULT_HEATMAP_CONFIG
     with span("process.drai_sequence", frames=len(cubes)):
+        profiles = range_fft_sequence(np.asarray(cubes))  # (T, N_s, N_c, K)
+        # Clutter removal and the Angle-FFT act per range row, so cropping
+        # first is exact and halves the work of both stages.
+        profiles = profiles[:, config.range_bin_start : config.range_bin_stop]
+        profiles = _remove_clutter_sequence(profiles, config)
+        spectra = angle_fft_sequence(profiles, config.num_angle_bins)
+        # Non-coherent integration over chirps (axis 2), then the same
+        # angle-axis flip as _angle_magnitude.
+        frames = np.abs(spectra).mean(axis=2)[:, :, ::-1]
+        if config.dynamic_median:
+            frames = np.clip(
+                frames - np.median(frames, axis=0, keepdims=True), 0.0, None
+            )
+        return _finalize(frames, config)
+
+
+def drai_sequence_reference(
+    cubes: np.ndarray,
+    config: HeatmapConfig | None = None,
+) -> np.ndarray:
+    """Per-frame DRAI reference (float64) mirroring the batched pipeline."""
+    config = config or DEFAULT_HEATMAP_CONFIG
+    with span("process.drai_sequence", frames=len(cubes)):
         profiles = np.stack([range_fft(cube) for cube in cubes])  # (T, N_s, N_c, K)
-        if config.clutter_removal == "background":
-            background = profiles.mean(axis=(0, 2), keepdims=True)
-            profiles = profiles - background
-        elif config.clutter_removal == "mti":
-            profiles = profiles - profiles.mean(axis=2, keepdims=True)
+        profiles = _remove_clutter_sequence(profiles, config)
         frames = np.stack(
             [
                 _angle_magnitude(profile, config)[

@@ -12,12 +12,19 @@ the standard carrier term ``f0 * tau`` because it carries the per-antenna
 phase differences the Angle-FFT needs and the chirp-to-chirp phase
 progression the Doppler-FFT needs.
 
-Two execution paths are provided:
+Three execution paths are provided:
 
-* :meth:`FmcwRadarSimulator.frame_cube` — the *fast separable* path used
-  for dataset generation.  Per frame, the beat, Doppler and antenna phase
-  factors are rank-1 per facet and combined with one ``einsum``; facet
-  motion within a frame enters through a per-facet radial velocity.
+* :meth:`FmcwRadarSimulator.simulate_sequence` — the *batched* path used
+  for dataset generation.  A pose sequence shares mesh topology, so
+  visibility, centroids, areas and incidence extraction run once over a
+  stacked ``(T, F, ...)`` geometry tensor, all per-frame facet phases are
+  synthesized in one vectorized complex64 pass, and the beat x doppler x
+  channel contraction runs as chunked BLAS matmuls.
+* :meth:`FmcwRadarSimulator.frame_cube` /
+  :meth:`FmcwRadarSimulator.simulate_sequence_reference` — the *per-frame
+  separable* path: one :meth:`facet_set` + one einsum-style contraction
+  per frame.  It is the pinned reference the batched path is equivalence-
+  tested against.
 * :meth:`FmcwRadarSimulator.frame_cube_exact` — the *exact* path that
   re-evaluates every facet-antenna delay at every chirp.  It is orders of
   magnitude slower and exists to validate the separable approximation.
@@ -31,10 +38,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry.mesh import TriangleMesh
-from ..geometry.visibility import incidence_cosines, visible_mask
+from ..geometry.visibility import (
+    incidence_cosines,
+    visibility_geometry,
+    visible_mask,
+    visible_mask_from_geometry,
+)
 from ..runtime.telemetry import metrics, span
 from .antenna import AntennaArray
 from .chirp import SPEED_OF_LIGHT, ChirpConfig
+
+#: Upper bound on visible facets synthesized per batched chunk.  Bounds the
+#: flat phase workspaces to roughly ``_CHUNK_FACET_BUDGET * (N_s + N_c * K)``
+#: complex64 elements no matter how long the sequence is.
+_CHUNK_FACET_BUDGET = 32768
 
 
 @dataclass(frozen=True)
@@ -92,6 +109,26 @@ class FacetSet:
         )
 
 
+def _unit_phasor(arg_cycles: np.ndarray) -> np.ndarray:
+    """``exp(-2j pi arg)`` as complex64, accurate for large phase counts.
+
+    The carrier term ``f0 * tau`` is thousands of radians; reducing to the
+    fractional cycle in float64 *before* dropping to float32 keeps phase
+    error at ~1e-7 cycles where a naive float32 product would lose four
+    digits.  The complex exponential itself — the expensive part — then
+    runs in single precision.
+    """
+    phi = np.remainder(arg_cycles, 1.0).astype(np.float32)
+    phi *= np.float32(-2.0 * np.pi)
+    # Separate float32 cos/sin into the real/imag planes of the output:
+    # ~4x faster than numpy's complex exp, identical to 1e-7.
+    out = np.empty(phi.shape, dtype=np.complex64)
+    view = out.view(np.float32).reshape(phi.shape + (2,))
+    np.cos(phi, out=view[..., 0])
+    np.sin(phi, out=view[..., 1])
+    return out
+
+
 class FmcwRadarSimulator:
     """Synthesizes IF-signal frame cubes from triangle-mesh scenes."""
 
@@ -115,6 +152,10 @@ class FmcwRadarSimulator:
     ) -> FacetSet:
         """Per-facet amplitudes, delays and delay rates for one frame.
 
+        The visibility mask is applied *before* areas, gains and distances
+        are derived, so occluded faces (typically half the scene or more)
+        cost nothing beyond the culling pass itself.
+
         Parameters
         ----------
         mesh:
@@ -130,18 +171,26 @@ class FmcwRadarSimulator:
         config = self.config
         with span("simulate.facet_set", faces=mesh.num_faces) as _span:
             if apply_visibility and mesh.num_faces:
-                mask = visible_mask(
+                mask, cos, centroids_all = visibility_geometry(
                     mesh, self._radar_position, use_occlusion=config.use_occlusion
                 )
+                if not mask.any():
+                    return FacetSet.empty(config.antennas.num_virtual)
+                centroids = centroids_all[mask]
+                gains = np.clip(cos[mask], 0.0, None)
             else:
                 mask = np.ones(mesh.num_faces, dtype=bool)
-            if not mask.any():
-                return FacetSet.empty(config.antennas.num_virtual)
+                if not mask.any():
+                    return FacetSet.empty(config.antennas.num_virtual)
+                centroids = mesh.face_centroids()
+                gains = incidence_cosines(mesh, self._radar_position)
 
-            centroids = mesh.face_centroids()[mask]
-            areas = mesh.face_areas()[mask]
+            # Areas only for the surviving faces.
+            tri = mesh.vertices[mesh.faces[mask]]
+            areas = 0.5 * np.linalg.norm(
+                np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0]), axis=1
+            )
             reflectivity = mesh.reflectivity[mask]
-            gains = incidence_cosines(mesh, self._radar_position)[mask]
 
             # Distances facet -> each TX / RX element.
             d_tx = np.linalg.norm(centroids[:, None, :] - self._tx[None, :, :], axis=2)
@@ -165,16 +214,20 @@ class FmcwRadarSimulator:
                 delay_rates = np.zeros(num_f)
             else:
                 velocities = np.asarray(velocities, dtype=float)[mask]
-                to_radar = self._radar_position[None, :] - centroids
-                dist = np.linalg.norm(to_radar, axis=1, keepdims=True)
-                dist = np.where(dist > 0.0, dist, 1.0)
-                radial = (velocities * (-to_radar / dist)).sum(axis=1)
-                # Bistatic round trip: outbound + return path both lengthen.
-                delay_rates = 2.0 * radial / SPEED_OF_LIGHT
+                delay_rates = self._delay_rates(centroids, velocities)
 
             _span.set(visible=num_f)
             metrics().counter("simulator.facets_processed").inc(num_f)
             return FacetSet(amplitudes=prefactor, delays=delays, delay_rates=delay_rates)
+
+    def _delay_rates(self, centroids: np.ndarray, velocities: np.ndarray) -> np.ndarray:
+        """Bistatic delay rates from centroid velocities, any batch shape."""
+        to_radar = self._radar_position - centroids
+        dist = np.linalg.norm(to_radar, axis=-1, keepdims=True)
+        dist = np.where(dist > 0.0, dist, 1.0)
+        radial = (velocities * (-to_radar / dist)).sum(axis=-1)
+        # Bistatic round trip: outbound + return path both lengthen.
+        return 2.0 * radial / SPEED_OF_LIGHT
 
     # ------------------------------------------------------------------
     # Fast separable synthesis
@@ -304,33 +357,50 @@ class FmcwRadarSimulator:
         velocities = np.gradient(centroids, dt, axis=0)
         return [velocities[t] for t in range(len(meshes))]
 
+    @staticmethod
+    def _shares_topology(meshes: "list[TriangleMesh]") -> bool:
+        """True when all meshes share faces and reflectivity (pose sequences)."""
+        first = meshes[0]
+        return all(
+            mesh.num_faces == first.num_faces
+            and mesh.num_vertices == first.num_vertices
+            and np.array_equal(mesh.faces, first.faces)
+            and np.array_equal(mesh.reflectivity, first.reflectivity)
+            for mesh in meshes[1:]
+        )
+
     def simulate_sequence(
         self,
         meshes: "list[TriangleMesh]",
         extra_facets: "list[FacetSet] | None" = None,
+        estimate_velocities: bool = True,
+        batched: bool = True,
     ) -> np.ndarray:
         """IF cubes ``(T, N_s, N_c, K)`` for a mesh sequence.
 
         ``extra_facets`` optionally adds precomputed static contributions
         (e.g. environment clutter) to every frame without re-deriving them.
+        ``estimate_velocities=False`` treats every frame as static (no
+        Doppler phase), which is how rigid trigger attachments are
+        synthesized.  When the meshes share topology — the normal case for
+        pose sequences — the batched fast path runs the whole sequence
+        through one stacked geometry/phase pass; otherwise (or with
+        ``batched=False``) it falls back to per-frame synthesis.
         """
         if not meshes:
             raise ValueError("empty mesh sequence")
-        with span("simulate.sequence", frames=len(meshes)) as _span:
-            velocities = self.sequence_velocities(meshes)
-            frames = []
-            static = None
-            if extra_facets:
-                static = sum(
-                    (self.frame_cube_from_facets(f) for f in extra_facets),
-                    np.zeros(self.config.cube_shape, dtype=np.complex64),
+        use_batched = batched and self._shares_topology(meshes)
+        with span(
+            "simulate.sequence", frames=len(meshes), batched=use_batched
+        ) as _span:
+            if use_batched:
+                stacked = self._simulate_sequence_batched(
+                    meshes, extra_facets, estimate_velocities
                 )
-            for mesh, vel in zip(meshes, velocities):
-                cube = self.frame_cube(mesh, vel)
-                if static is not None:
-                    cube = cube + static
-                frames.append(cube)
-            stacked = np.stack(frames)
+            else:
+                stacked = self._simulate_sequence_frames(
+                    meshes, extra_facets, estimate_velocities
+                )
         # Synthesis rate for the run record: chirps per wall-second (the
         # disabled no-op span reports zero duration, skipping the gauge).
         duration = _span.duration_s
@@ -338,3 +408,164 @@ class FmcwRadarSimulator:
             num_chirps = len(meshes) * self.config.chirp.num_chirps
             metrics().gauge("simulator.chirps_per_s").set(num_chirps / duration)
         return stacked
+
+    def simulate_sequence_reference(
+        self,
+        meshes: "list[TriangleMesh]",
+        extra_facets: "list[FacetSet] | None" = None,
+        estimate_velocities: bool = True,
+    ) -> np.ndarray:
+        """The pinned per-frame path: one facet_set + frame cube per frame.
+
+        Kept as the equivalence oracle for the batched fast path and the
+        baseline the benchmark suite reports speedups against.
+        """
+        return self.simulate_sequence(
+            meshes,
+            extra_facets,
+            estimate_velocities=estimate_velocities,
+            batched=False,
+        )
+
+    def _static_cube(self, extra_facets: "list[FacetSet] | None") -> np.ndarray | None:
+        if not extra_facets:
+            return None
+        return sum(
+            (self.frame_cube_from_facets(f) for f in extra_facets),
+            np.zeros(self.config.cube_shape, dtype=np.complex64),
+        )
+
+    def _simulate_sequence_frames(
+        self,
+        meshes: "list[TriangleMesh]",
+        extra_facets: "list[FacetSet] | None",
+        estimate_velocities: bool,
+    ) -> np.ndarray:
+        if estimate_velocities:
+            velocities = self.sequence_velocities(meshes)
+        else:
+            velocities = [None] * len(meshes)
+        static = self._static_cube(extra_facets)
+        frames = []
+        for mesh, vel in zip(meshes, velocities):
+            cube = self.frame_cube(mesh, vel)
+            if static is not None:
+                cube = cube + static
+            frames.append(cube)
+        return np.stack(frames)
+
+    def _simulate_sequence_batched(
+        self,
+        meshes: "list[TriangleMesh]",
+        extra_facets: "list[FacetSet] | None",
+        estimate_velocities: bool,
+    ) -> np.ndarray:
+        """One stacked geometry/phase pass for a shared-topology sequence."""
+        config = self.config
+        chirp = config.chirp
+        num_frames = len(meshes)
+        n_s, n_c, n_k = config.cube_shape
+        out = np.zeros((num_frames, n_s, n_c * n_k), dtype=np.complex64)
+
+        faces = meshes[0].faces
+        reflectivity = meshes[0].reflectivity
+        if len(faces):
+            with span(
+                "simulate.sequence_geometry", frames=num_frames, faces=len(faces)
+            ):
+                vertices = np.stack([mesh.vertices for mesh in meshes])  # (T, V, 3)
+                tri = vertices[:, faces, :]  # (T, F, 3 corners, 3)
+                a, b, c = tri[:, :, 0], tri[:, :, 1], tri[:, :, 2]
+                cross = np.cross(b - a, c - a)
+                norms = np.linalg.norm(cross, axis=-1)
+                areas = 0.5 * norms  # (T, F)
+                safe = np.where(norms > 0.0, norms, 1.0)[..., None]
+                normals = np.where(norms[..., None] > 0.0, cross / safe, 0.0)
+                centroids = (a + b + c) / 3.0  # (T, F, 3)
+                mask, cos = visible_mask_from_geometry(
+                    centroids,
+                    normals,
+                    self._radar_position,
+                    use_occlusion=config.use_occlusion,
+                )  # both (T, F)
+                if estimate_velocities:
+                    velocities = np.gradient(
+                        centroids, chirp.frame_period_s, axis=0
+                    )
+                else:
+                    velocities = None
+            # Flatten visible (frame, facet) pairs; np.nonzero is row-major,
+            # so each frame's facets occupy one contiguous slice.
+            idx_t, idx_f = np.nonzero(mask)
+            counts = mask.sum(axis=1)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+        else:
+            idx_t = idx_f = np.zeros(0, dtype=int)
+            offsets = np.zeros(num_frames + 1, dtype=int)
+
+        num_visible = len(idx_t)
+        if num_visible:
+            with span("simulate.sequence_facets", facets=num_visible):
+                cen = centroids[idx_t, idx_f]  # (N, 3)
+                gains = cos[idx_t, idx_f]  # > 0 by construction of the mask
+                weight = gains * reflectivity[idx_f] * areas[idx_t, idx_f]
+                d_tx = np.linalg.norm(cen[:, None, :] - self._tx[None, :, :], axis=2)
+                d_rx = np.linalg.norm(cen[:, None, :] - self._rx[None, :, :], axis=2)
+                d_sum = (d_tx[:, :, None] + d_rx[:, None, :]).reshape(num_visible, -1)
+                d_prod = (d_tx[:, :, None] * d_rx[:, None, :]).reshape(num_visible, -1)
+                delays = d_sum / SPEED_OF_LIGHT  # (N, K)
+                omega = 2.0 * math.pi * chirp.start_frequency_hz
+                prefactor = (
+                    config.amplitude_scale
+                    * omega
+                    * weight[:, None]
+                    / ((4.0 * math.pi) ** 2 * d_prod)
+                ).astype(np.float32)
+                if velocities is None:
+                    delay_rates = np.zeros(num_visible)
+                else:
+                    delay_rates = self._delay_rates(cen, velocities[idx_t, idx_f])
+            metrics().counter("simulator.facets_processed").inc(num_visible)
+
+            f0 = chirp.start_frequency_hz
+            gamma = chirp.slope_hz_per_s
+            with span("simulate.sequence_synthesis", facets=num_visible):
+                # Chunk the frame axis so the flat complex64 workspaces stay
+                # bounded; each chunk is one vectorized phase pass plus one
+                # BLAS matmul per frame on contiguous slices.
+                start_frame = 0
+                while start_frame < num_frames:
+                    stop_frame = start_frame + 1
+                    while (
+                        stop_frame < num_frames
+                        and offsets[stop_frame + 1] - offsets[start_frame]
+                        <= _CHUNK_FACET_BUDGET
+                    ):
+                        stop_frame += 1
+                    lo, hi = offsets[start_frame], offsets[stop_frame]
+                    tau = delays[lo:hi]
+                    # Same separable decomposition as frame_cube_from_facets:
+                    # beat at the channel-averaged delay, exact per-channel
+                    # carrier phases, chirp-to-chirp Doppler progression.
+                    beat = _unit_phasor(
+                        np.outer(gamma * tau.mean(axis=1), self._fast_time)
+                    )  # (n, N_s)
+                    doppler = _unit_phasor(
+                        np.outer(f0 * delay_rates[lo:hi], self._slow_time)
+                    )  # (n, N_c)
+                    channel = prefactor[lo:hi] * _unit_phasor(f0 * tau)  # (n, K)
+                    chirps_by_channels = (
+                        doppler[:, :, None] * channel[:, None, :]
+                    ).reshape(hi - lo, -1)
+                    for t in range(start_frame, stop_frame):
+                        s0, s1 = offsets[t] - lo, offsets[t + 1] - lo
+                        np.matmul(
+                            beat[s0:s1].T, chirps_by_channels[s0:s1], out=out[t]
+                        )
+                    start_frame = stop_frame
+
+        static = self._static_cube(extra_facets)
+        if static is not None:
+            out += static.reshape(1, n_s, -1)
+        metrics().counter("simulator.chirps_synthesized").inc(num_frames * n_c)
+        return out.reshape(num_frames, n_s, n_c, n_k)

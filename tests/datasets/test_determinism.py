@@ -2,6 +2,8 @@
 cache key derivation must never silently drift (stale keys would orphan
 every archive on disk)."""
 
+import hashlib
+
 import numpy as np
 
 from repro.datasets import SampleGenerator, cache_key, load_dataset, save_dataset
@@ -52,6 +54,34 @@ def test_round_trip_preserves_bytes(micro_generation_config, tmp_path):
     loaded = load_dataset(path)
     assert loaded.x.tobytes() == dataset.x.tobytes()
     assert loaded.y.tobytes() == dataset.y.tobytes()
+
+
+def test_dataset_content_pinned_against_drift(micro_generation_config):
+    """The generated data itself must not silently change.
+
+    Labels and metadata are exactly reproducible everywhere, so they are
+    pinned by digest.  Heatmap floats can differ in the last bits across
+    BLAS/FFT builds, so the tensor is pinned by summary statistics at a
+    tolerance far below anything that would alter the science but far
+    above library-version noise.  If an intentional numerics change trips
+    this (like the batched complex64 pipeline did), re-pin the values AND
+    bump CACHE_SCHEMA_VERSION so stale archives regenerate.
+    """
+    dataset = SampleGenerator(micro_generation_config, seed=21).generate_dataset(
+        samples_per_class=1
+    )
+    assert dataset.x.dtype == np.float32
+    assert dataset.x.shape == (6, 8, 16, 16)
+    assert (
+        hashlib.sha256(dataset.y.tobytes()).hexdigest()
+        == "f190072c5052f4f440d4a607c25f5bced487c420806c9aab4ca5b0653e72da61"
+    )
+    assert [meta.activity for meta in dataset.meta] == [
+        "push", "pull", "left_swipe", "right_swipe", "clockwise", "anticlockwise",
+    ]
+    assert float(dataset.x.max()) == 1.0  # peak-normalized per sequence
+    assert abs(float(dataset.x.mean()) - 0.09437361) < 1e-4
+    assert abs(float(dataset.x.std()) - 0.16637637) < 1e-4
 
 
 def test_cache_key_pinned_against_drift():

@@ -25,6 +25,24 @@ def test_hann_window_properties():
         hann_window(0)
 
 
+def test_hann_window_is_cached_per_length_and_dtype():
+    assert hann_window(64) is hann_window(64)
+    assert hann_window(64, np.float32) is hann_window(64, np.float32)
+    assert hann_window(64) is not hann_window(64, np.float32)
+    assert hann_window(64).dtype == np.float64
+    assert hann_window(64, np.float32).dtype == np.float32
+
+
+def test_hann_window_is_read_only():
+    window = hann_window(32)
+    with pytest.raises(ValueError):
+        window[0] = 1.0
+    # float32 cache entries match the float64 window to rounding.
+    np.testing.assert_allclose(
+        hann_window(32, np.float32), hann_window(32), atol=1e-7
+    )
+
+
 def _synthetic_cube(beat_bin: int, n_s=64, n_c=8, k=4) -> np.ndarray:
     """IF cube with a single beat tone at a known bin (matching the
     simulator's exp(-j...) convention)."""

@@ -232,10 +232,22 @@ class TestPipelineIntegration:
         meshes = micro_generator.sample_meshes("push", 1.0, 0.0)
         micro_generator.simulator.simulate_sequence(meshes[:2])
         names = {sp.name for sp in tel.finished_spans()}
-        assert {"simulate.sequence", "simulate.frame_cube", "simulate.facet_set"} <= names
+        assert {
+            "simulate.sequence",
+            "simulate.sequence_geometry",
+            "simulate.sequence_synthesis",
+        } <= names
         snap = metrics().snapshot()
         assert snap["simulator.facets_processed"]["value"] > 0
         assert snap["simulator.chirps_synthesized"]["value"] > 0
+
+    def test_reference_simulator_emits_per_frame_spans(self, micro_generator):
+        tel = telemetry()
+        tel.enable()
+        meshes = micro_generator.sample_meshes("push", 1.0, 0.0)
+        micro_generator.simulator.simulate_sequence_reference(meshes[:2])
+        names = {sp.name for sp in tel.finished_spans()}
+        assert {"simulate.sequence", "simulate.frame_cube", "simulate.facet_set"} <= names
 
     def test_cache_counts_hits_and_misses(self, micro_generator, tmp_path):
         from repro.datasets.cache import cached_dataset

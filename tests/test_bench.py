@@ -1,0 +1,87 @@
+"""Benchmark suite: schema, determinism of the workload, CLI integration."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_PRESETS,
+    BENCH_SCHEMA_VERSION,
+    default_output_path,
+    format_bench_result,
+    run_bench,
+    validate_bench_result,
+    write_bench_result,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_bench("tiny")
+
+
+def test_presets_are_ordered_by_size():
+    assert set(BENCH_PRESETS) == {"tiny", "small", "medium"}
+    frames = [BENCH_PRESETS[name].num_frames for name in ("tiny", "small", "medium")]
+    assert frames == sorted(frames)
+    assert BENCH_PRESETS["medium"].num_frames == 32  # the paper's scale
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown bench preset"):
+        run_bench("huge")
+
+
+def test_tiny_result_passes_schema(tiny_result):
+    validate_bench_result(tiny_result)
+    assert tiny_result["schema_version"] == BENCH_SCHEMA_VERSION
+    assert tiny_result["preset"]["name"] == "tiny"
+    # The span breakdown must include the batched simulator path.
+    assert "simulate.sequence" in tiny_result["spans"]
+
+
+def test_speedups_are_positive(tiny_result):
+    for key in ("simulate", "drai", "end_to_end"):
+        assert tiny_result["speedup"][key] > 0.0
+
+
+def test_validate_rejects_missing_stage(tiny_result):
+    broken = {**tiny_result, "stages": dict(tiny_result["stages"])}
+    del broken["stages"]["train.epoch"]
+    with pytest.raises(ValueError, match="train.epoch"):
+        validate_bench_result(broken)
+
+
+def test_validate_rejects_wrong_schema_version(tiny_result):
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_bench_result({**tiny_result, "schema_version": 999})
+
+
+def test_write_round_trips_json(tiny_result, tmp_path):
+    path = write_bench_result(tiny_result, tmp_path / "bench.json")
+    loaded = json.loads(path.read_text())
+    validate_bench_result(loaded)
+    assert loaded["preset"] == tiny_result["preset"]
+
+
+def test_default_output_path_embeds_utc_date(tiny_result):
+    path = default_output_path(tiny_result)
+    date = tiny_result["generated_utc"][:10]
+    assert path.name == f"BENCH_{date}.json"
+
+
+def test_format_is_human_readable(tiny_result):
+    text = format_bench_result(tiny_result)
+    assert "speedup vs per-frame reference" in text
+    assert "chirps/s" in text
+    assert "train.epoch" in text
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    import repro.cli as cli
+
+    out = tmp_path / "bench.json"
+    assert cli.main(["-q", "bench", "--preset", "tiny", "--output", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "speedup vs per-frame reference" in printed
+    validate_bench_result(json.loads(out.read_text()))

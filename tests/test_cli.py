@@ -101,16 +101,16 @@ def test_run_exports_trace_metrics_and_record(capsys, monkeypatch, tmp_path):
     trace = json.loads(trace_path.read_text())
     events = trace["traceEvents"]
     names = {event["name"] for event in events}
-    assert "simulate.frame_cube" in names  # simulator layer
+    assert "simulate.sequence" in names  # simulator layer (batched path)
     assert "stage.dataset" in names  # dataset layer
     assert "train.fit" in names and "train.epoch" in names  # trainer layer
     assert "experiment.fig7" in names  # runner layer
     spans_by_name = {}
     for event in events:
         spans_by_name.setdefault(event["name"], event)
-    # Nesting: a frame-cube span lies inside the dataset stage span.
+    # Nesting: a simulate span lies inside the dataset stage span.
     outer = spans_by_name["stage.dataset"]
-    inner = spans_by_name["simulate.frame_cube"]
+    inner = spans_by_name["simulate.sequence"]
     assert outer["ts"] <= inner["ts"] <= outer["ts"] + outer["dur"]
 
     # --- Metrics JSONL: cache + trainer instruments present.
