@@ -2,9 +2,10 @@
 
 Times the pipeline's hot stages — simulator facet extraction, frame-cube
 synthesis, batched sequence synthesis, the FFT chain, DRAI generation, one
-training epoch, and placement candidate scoring — on a fixed, seeded
-workload, and reports the batched fast path's speedup over the pinned
-per-frame reference.  Results are written as a schema-versioned JSON
+training epoch, placement candidate scoring, and a micro-batched serving
+round (concurrent submits coalesced by the inference engine) — on a
+fixed, seeded workload, and reports the batched fast path's speedup over
+the pinned per-frame reference.  Results are written as a schema-versioned JSON
 (``BENCH_<UTC-date>.json``) so successive runs on the same machine are
 directly comparable and regressions show up as a diff.
 
@@ -19,6 +20,8 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
@@ -28,6 +31,7 @@ import numpy as np
 
 from .attack.placement import _score_candidate
 from .attack.trigger import ReflectorTrigger
+from .datasets.activities import ACTIVITY_NAMES
 from .datasets.generation import GenerationConfig, SampleGenerator
 from .geometry.human import BODY_ATTACHMENT_POINTS, HumanModel
 from .models.cnn_lstm import CNNLSTMClassifier, ModelConfig
@@ -40,12 +44,15 @@ from .radar.processing import (
 )
 from .runtime.logging import get_logger
 from .runtime.telemetry import telemetry
+from .serve.engine import EngineConfig, InferenceEngine
+from .serve.registry import ModelRegistry
 
 _log = get_logger("bench")
 
 #: Bump when the result JSON layout changes so downstream tooling
 #: (CI schema validation, comparison scripts) can refuse mismatches.
-BENCH_SCHEMA_VERSION = 1
+#: v2: added the ``serve.engine`` micro-batched serving stage.
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -255,6 +262,39 @@ def _run_stages(preset: BenchPreset) -> "dict[str, dict]":
         max(1, preset.repeats // 2),
     )
 
+    _log.info("bench: micro-batched serving round")
+    with tempfile.TemporaryDirectory(prefix="bench-registry-") as registry_dir:
+        registry = ModelRegistry(registry_dir)
+        registry.publish(model, ACTIVITY_NAMES, preset.num_frames)
+        with InferenceEngine(
+            registry, EngineConfig(max_batch=4, max_delay_ms=2.0)
+        ) as engine:
+            engine.warm()
+
+            def serve_round() -> None:
+                errors: "list[Exception]" = []
+
+                def submit(index: int) -> None:
+                    try:
+                        engine.submit(x[index % len(x)], screen=False)
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=submit, args=(index,))
+                    for index in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors:
+                    raise errors[0]
+
+            stages["serve.engine"] = _time_stage(
+                serve_round, max(1, preset.repeats // 2)
+            )
+
     _log.info(
         "bench: placement scoring (%d candidates)", preset.placement_candidates
     )
@@ -311,6 +351,7 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         "sample.end_to_end",
         "sample.end_to_end_reference",
         "train.epoch",
+        "serve.engine",
         "attack.placement_scoring",
     )
     for name in required_stages:

@@ -8,6 +8,13 @@ Examples::
     python -m repro -v run all --preset fast --report sweep-report.txt
     python -m repro run sec6d --trace trace.json --metrics metrics.jsonl
     python -m repro stats
+    python -m repro publish --registry registry/ --preset fast --detector
+    python -m repro serve --registry registry/ --port 8077
+    python -m repro infer --url http://127.0.0.1:8077 --requests 50
+
+The last three verbs are the online-serving stack (model registry +
+micro-batching HTTP server + load-generating client); see
+``repro.serve`` and the README's Serving section.
 
 Each experiment prints the same rows/series the corresponding paper figure
 shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -62,6 +69,8 @@ from .bench import (
     run_bench,
     write_bench_result,
 )
+
+from .serve.cli import add_serve_arguments, run_infer, run_publish, run_serve
 
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
 from .eval import (
@@ -231,6 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="result JSON path (default BENCH_<UTC-date>.json in the "
         "current directory)",
     )
+
+    add_serve_arguments(subparsers)
     return parser
 
 
@@ -346,6 +357,15 @@ def main(argv: "list[str] | None" = None) -> int:
         print(format_bench_result(result))
         log.info("benchmark result written to %s", path)
         return 0
+
+    if args.command == "publish":
+        return run_publish(args, log)
+
+    if args.command == "serve":
+        return run_serve(args, log)
+
+    if args.command == "infer":
+        return run_infer(args, log)
 
     if args.command == "stats":
         directory = Path(args.runs_dir) if args.runs_dir else None

@@ -47,8 +47,9 @@ _log = get_logger("datasets.cache")
 #: Bump when the on-disk archive layout changes OR the generated data's
 #: numerics change; loaders refuse other versions so stale archives
 #: regenerate instead of half-deserializing.  v3: batched complex64
-#: simulator/heatmap pipeline (float32 heatmaps).
-CACHE_SCHEMA_VERSION = 3
+#: simulator/heatmap pipeline (float32 heatmaps).  v4: single batched
+#: float32 thermal-noise draw (interleaved re/im stream).
+CACHE_SCHEMA_VERSION = 4
 
 _META_FIELDS = (
     "activity",

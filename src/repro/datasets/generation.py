@@ -32,7 +32,12 @@ from ..geometry.human import (
 from ..geometry.mesh import TriangleMesh, merge_meshes
 from ..geometry.transforms import RigidTransform, subject_placement
 from ..radar.heatmap import HeatmapConfig, drai_sequence
-from ..radar.noise import add_thermal_noise, random_environment
+from ..radar.noise import (
+    add_thermal_noise,
+    complex_awgn,
+    noise_sigma,
+    random_environment,
+)
 from ..radar.simulator import FmcwRadarSimulator, RadarConfig
 from ..runtime.errors import SimulationError
 from ..runtime.guards import ensure_finite
@@ -375,14 +380,9 @@ class SampleGenerator:
         triggered_cubes = clean_cubes + trigger_cubes
 
         # One shared noise realization, scaled from the clean signal power.
-        signal_power = float(np.mean(np.abs(clean_cubes) ** 2))
-        if signal_power > 0.0:
-            noise_power = signal_power / (10.0 ** (self.config.snr_db / 10.0))
-            sigma = np.sqrt(noise_power / 2.0)
-            noise = (
-                self.rng.normal(0.0, sigma, clean_cubes.shape)
-                + 1j * self.rng.normal(0.0, sigma, clean_cubes.shape)
-            ).astype(np.complex64)
+        sigma = noise_sigma(clean_cubes, self.config.snr_db)
+        if sigma > 0.0:
+            noise = complex_awgn(clean_cubes.shape, sigma, self.rng)
             clean_cubes = clean_cubes + noise
             triggered_cubes = triggered_cubes + noise
         ensure_finite(clean_cubes, f"simulated IF cubes for {activity!r}")

@@ -18,7 +18,13 @@ from .heatmap import (
     rdi_sequence,
     rdi_sequence_reference,
 )
-from .noise import add_thermal_noise, random_environment
+from .noise import (
+    add_thermal_noise,
+    add_thermal_noise_reference,
+    complex_awgn,
+    noise_sigma,
+    random_environment,
+)
 from .pointcloud import (
     CfarConfig,
     RadarPointCloud,
@@ -53,6 +59,9 @@ __all__ = [
     "RadarPointCloud",
     "SPEED_OF_LIGHT",
     "add_thermal_noise",
+    "add_thermal_noise_reference",
+    "complex_awgn",
+    "noise_sigma",
     "angle_axis_degrees",
     "ca_cfar_2d",
     "angle_fft",

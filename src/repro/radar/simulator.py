@@ -33,6 +33,7 @@ Three execution paths are provided:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,10 +49,36 @@ from ..runtime.telemetry import metrics, span
 from .antenna import AntennaArray
 from .chirp import SPEED_OF_LIGHT, ChirpConfig
 
-#: Upper bound on visible facets synthesized per batched chunk.  Bounds the
-#: flat phase workspaces to roughly ``_CHUNK_FACET_BUDGET * (N_s + N_c * K)``
-#: complex64 elements no matter how long the sequence is.
-_CHUNK_FACET_BUDGET = 32768
+#: Baseline facet budget per batched chunk, tuned on a 1-CPU container.
+#: Bounds the flat phase workspaces to roughly
+#: ``budget * (N_s + N_c * K)`` complex64 elements per chunk.
+_BASE_FACET_BUDGET = 32768
+
+#: Clamp bounds of the adaptive budget: below the floor the per-frame
+#: GEMMs are too small to amortize dispatch; above the ceiling the
+#: workspaces outgrow the last-level caches the chunking exists to fit.
+_MIN_FACET_BUDGET = 4096
+_MAX_FACET_BUDGET = 262144
+
+
+def chunk_facet_budget() -> int:
+    """Visible-facet budget per synthesis chunk, adapted to the machine.
+
+    Scales the 1-CPU baseline with ``os.cpu_count()`` — wider machines
+    have proportionally more aggregate cache and BLAS parallelism to feed,
+    so larger chunks keep the GEMMs efficient — and clamps the result to
+    ``[_MIN_FACET_BUDGET, _MAX_FACET_BUDGET]``.  ``REPRO_FACET_BUDGET``
+    overrides the heuristic (still clamped); an unparsable override is
+    ignored rather than crashing mid-simulation.
+    """
+    override = os.environ.get("REPRO_FACET_BUDGET")
+    if override is not None:
+        try:
+            return max(_MIN_FACET_BUDGET, min(_MAX_FACET_BUDGET, int(override)))
+        except ValueError:
+            pass
+    cores = os.cpu_count() or 1
+    return max(_MIN_FACET_BUDGET, min(_MAX_FACET_BUDGET, _BASE_FACET_BUDGET * cores))
 
 
 @dataclass(frozen=True)
@@ -533,13 +560,14 @@ class FmcwRadarSimulator:
                 # Chunk the frame axis so the flat complex64 workspaces stay
                 # bounded; each chunk is one vectorized phase pass plus one
                 # BLAS matmul per frame on contiguous slices.
+                facet_budget = chunk_facet_budget()
                 start_frame = 0
                 while start_frame < num_frames:
                     stop_frame = start_frame + 1
                     while (
                         stop_frame < num_frames
                         and offsets[stop_frame + 1] - offsets[start_frame]
-                        <= _CHUNK_FACET_BUDGET
+                        <= facet_budget
                     ):
                         stop_frame += 1
                     lo, hi = offsets[start_frame], offsets[stop_frame]

@@ -13,7 +13,12 @@ The hierarchy mirrors the pipeline stages::
     ├── TrainingDivergenceError   NaN/Inf loss during Trainer.fit
     ├── ExperimentError           one experiment of a sweep failed
     ├── PoolError                 the worker pool itself is unusable
-    └── JournalError              sweep journal unusable for resume
+    ├── JournalError              sweep journal unusable for resume
+    └── ServeError                online inference service failures
+        ├── RegistryError         model artifact unusable (tampered, stale)
+        │   └── ModelNotFoundError   unknown model id or alias
+        ├── OverloadError         admission queue full (HTTP 429)
+        └── DeadlineExceededError request deadline hit (HTTP 504)
 """
 
 from __future__ import annotations
@@ -82,3 +87,43 @@ class JournalError(ReproError):
         super().__init__(f"unusable sweep journal {path}: {reason}")
         self.path = path
         self.reason = reason
+
+
+class ServeError(ReproError):
+    """Base class of online inference service failures.
+
+    The HTTP layer maps each subclass to a status code, so clients see a
+    typed JSON error instead of a stack trace; anything outside this
+    branch is a programming error and surfaces as a 500.
+    """
+
+
+class RegistryError(ServeError):
+    """A registry artifact is unusable: tampered weights (manifest
+    checksum mismatch), a truncated archive, or a manifest with an
+    unsupported schema.  Maps to HTTP 503 — the deployment is unhealthy,
+    the request was fine."""
+
+    def __init__(self, ref, reason: str):
+        super().__init__(f"unusable model artifact {ref!r}: {reason}")
+        self.ref = ref
+        self.reason = reason
+
+
+class ModelNotFoundError(RegistryError):
+    """The requested model id or alias does not exist (HTTP 404)."""
+
+    def __init__(self, ref):
+        ReproError.__init__(self, f"unknown model reference {ref!r}")
+        self.ref = ref
+        self.reason = "not found"
+
+
+class OverloadError(ServeError):
+    """The engine's admission queue is full; the request was shed
+    (HTTP 429) instead of growing the queue without bound."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline elapsed before a result was produced
+    (HTTP 504); the worker never wedges on an abandoned request."""

@@ -19,7 +19,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from .telemetry import write_text_atomic
+from .telemetry import quantile_from_buckets, write_text_atomic
 
 #: Bump when the record layout changes; ``load_run_record`` tolerates
 #: unknown extra keys but refuses other versions.
@@ -128,10 +128,7 @@ def format_run_record(record: RunRecord) -> str:
         for name, snap in sorted(record.metrics.items()):
             kind = snap.get("type", "?")
             if kind == "histogram":
-                lines.append(
-                    f"    {name:<36} count={snap.get('count', 0)} "
-                    f"mean={snap.get('mean', 0.0):.4g}"
-                )
+                lines.append(f"    {name:<36} {_format_histogram(snap)}")
             else:
                 lines.append(f"    {name:<36} {snap.get('value', 0)}")
     if record.spans:
@@ -148,6 +145,25 @@ def format_run_record(record: RunRecord) -> str:
                 f"mean={entry.get('mean_s', 0.0):8.4f}s"
             )
     return "\n".join(lines)
+
+
+def _format_histogram(snap: dict) -> str:
+    """``count/mean`` plus a le-bucket quantile summary.
+
+    Serving latency histograms (``serve.request_latency_s`` and friends)
+    are the main consumer: p50/p95/p99 estimated from the buckets read at
+    a glance, where the raw bucket dict did not.
+    """
+    summary = (
+        f"count={snap.get('count', 0)} mean={snap.get('mean', 0.0):.4g}"
+    )
+    if snap.get("count", 0):
+        quantiles = " ".join(
+            f"p{int(q * 100)}={quantile_from_buckets(snap, q):.4g}"
+            for q in (0.5, 0.95, 0.99)
+        )
+        summary = f"{summary} {quantiles}"
+    return summary
 
 
 def _format_outcome(outcome: dict) -> str:

@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "quantile_from_buckets",
     "Telemetry",
     "metrics",
     "span",
@@ -226,6 +227,47 @@ class Histogram:
             "mean": self.mean,
             "buckets": dict(zip(labels, self._counts)),
         }
+
+
+def quantile_from_buckets(snapshot: dict, q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) of a histogram *snapshot*.
+
+    Prometheus ``histogram_quantile`` semantics over the ``le`` buckets:
+    walk the cumulative counts to the bucket containing the target rank
+    and interpolate linearly inside it.  Ranks landing in the overflow
+    (``inf``) bucket return the last finite bound — an "at least" answer,
+    which is the honest one for a fixed-bucket instrument.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    count = snapshot.get("count", 0)
+    buckets = snapshot.get("buckets", {})
+    if not count or not buckets:
+        return 0.0
+    bounds: "list[float]" = []
+    counts: "list[int]" = []
+    for label, value in buckets.items():
+        bounds.append(float("inf") if label == "inf" else float(label))
+        counts.append(int(value))
+    order = sorted(range(len(bounds)), key=lambda i: bounds[i])
+    bounds = [bounds[i] for i in order]
+    counts = [counts[i] for i in order]
+    target = q * count
+    cumulative = 0
+    lower = 0.0
+    for bound, bucket_count in zip(bounds, counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target:
+            if bound == float("inf"):
+                return lower
+            if bucket_count == 0:
+                return bound
+            fraction = (target - previous) / bucket_count
+            return lower + (bound - lower) * fraction
+        if bound != float("inf"):
+            lower = bound
+    return lower
 
 
 class MetricsRegistry:

@@ -1,0 +1,38 @@
+"""Online inference service (model registry, micro-batching, HTTP).
+
+The serving stack has four layers, each usable on its own:
+
+``repro.serve.registry``
+    Immutable, checksum-manifested model artifacts with atomic publish
+    and alias resolution (``latest``, pinned ids).
+``repro.serve.engine``
+    Dynamic micro-batching over a warm-model LRU cache: concurrent
+    requests coalesce into one forward pass, with admission control,
+    per-request deadlines, and optional Section VII trigger screening.
+``repro.serve.http``
+    A stdlib ``ThreadingHTTPServer`` exposing ``POST /v1/predict``,
+    ``GET /healthz``, and ``GET /metrics`` with typed JSON errors.
+``repro.serve.client``
+    A stdlib client plus a small concurrent load generator reporting
+    p50/p95/p99 latency and throughput.
+"""
+
+from .client import fetch_json, predict, run_load
+from .engine import EngineConfig, InferenceEngine, Prediction
+from .http import InferenceServer, ServerConfig, build_server
+from .registry import LoadedModel, ModelRegistry, REGISTRY_SCHEMA_VERSION
+
+__all__ = [
+    "EngineConfig",
+    "InferenceEngine",
+    "InferenceServer",
+    "LoadedModel",
+    "ModelRegistry",
+    "Prediction",
+    "REGISTRY_SCHEMA_VERSION",
+    "ServerConfig",
+    "build_server",
+    "fetch_json",
+    "predict",
+    "run_load",
+]

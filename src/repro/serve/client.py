@@ -1,0 +1,201 @@
+"""Stdlib HTTP client and a small concurrent load generator.
+
+:func:`predict` round-trips one sequence through ``POST /v1/predict``;
+:func:`run_load` fires many requests from worker threads (either bounded
+concurrency or a single synchronized burst for exercising the 429
+load-shedding path) and reports p50/p95/p99 latency, throughput, and the
+per-status breakdown — the numbers ``repro infer`` folds into a run
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.logging import get_logger
+
+_log = get_logger("serve.client")
+
+
+def _request_json(
+    url: str, body: "bytes | None" = None, timeout_s: float = 30.0
+) -> "tuple[int, dict]":
+    """One HTTP exchange -> ``(status, parsed JSON)``.
+
+    Error statuses (4xx/5xx) are returned, not raised — the load
+    generator counts them; only transport failures raise ``OSError``.
+    """
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json"} if body else {},
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read())
+        except (ValueError, OSError):
+            payload = {"error": {"type": "HTTPError", "message": str(exc)}}
+        return exc.code, payload
+
+
+def fetch_json(base_url: str, path: str, timeout_s: float = 10.0) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/metrics``); raises on non-2xx."""
+    status, payload = _request_json(
+        base_url.rstrip("/") + path, timeout_s=timeout_s
+    )
+    if status >= 400:
+        raise OSError(f"GET {path} returned {status}: {payload}")
+    return payload
+
+
+def predict(
+    base_url: str,
+    sequence: np.ndarray,
+    model: str = "latest",
+    screen: "bool | None" = None,
+    deadline_ms: "float | None" = None,
+    timeout_s: float = 30.0,
+) -> "tuple[int, dict]":
+    """POST one sequence to ``/v1/predict`` -> ``(status, payload)``."""
+    body: dict = {
+        "sequence": np.asarray(sequence, dtype=np.float32).tolist(),
+        "model": model,
+    }
+    if screen is not None:
+        body["screen"] = screen
+    if deadline_ms is not None:
+        body["deadline_ms"] = deadline_ms
+    return _request_json(
+        base_url.rstrip("/") + "/v1/predict",
+        json.dumps(body).encode(),
+        timeout_s=timeout_s,
+    )
+
+
+def _percentile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class _LoadState:
+    """Shared mutable tallies of one load-generation run."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    latencies_ms: "list[float]" = field(default_factory=list)
+    statuses: "dict[int, int]" = field(default_factory=dict)
+    transport_errors: int = 0
+    labels: "dict[str, int]" = field(default_factory=dict)
+
+    def record(self, status: int, latency_ms: float, payload: dict) -> None:
+        with self.lock:
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status == 200:
+                self.latencies_ms.append(latency_ms)
+                name = payload.get("label_name", "?")
+                self.labels[name] = self.labels.get(name, 0) + 1
+
+    def record_transport_error(self) -> None:
+        with self.lock:
+            self.transport_errors += 1
+
+
+def run_load(
+    base_url: str,
+    sequences: np.ndarray,
+    requests: int,
+    concurrency: int = 8,
+    screen: "bool | None" = None,
+    deadline_ms: "float | None" = None,
+    burst: bool = False,
+    timeout_s: float = 60.0,
+) -> dict:
+    """Fire ``requests`` predictions and summarize the outcome.
+
+    ``burst=True`` releases every request simultaneously from
+    ``requests`` threads behind a barrier (the 429 load-shedding probe);
+    otherwise ``concurrency`` workers each issue their share serially
+    (the steady-state latency measurement).
+    """
+    sequences = np.asarray(sequences, dtype=np.float32)
+    if sequences.ndim == 3:
+        sequences = sequences[None]
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    state = _LoadState()
+    workers = requests if burst else min(concurrency, requests)
+    barrier = threading.Barrier(workers) if burst else None
+
+    def issue(request_index: int) -> None:
+        sequence = sequences[request_index % len(sequences)]
+        start = time.perf_counter()
+        try:
+            status, payload = predict(
+                base_url, sequence, screen=screen,
+                deadline_ms=deadline_ms, timeout_s=timeout_s,
+            )
+        except OSError as exc:
+            _log.debug("request %d transport error: %r", request_index, exc)
+            state.record_transport_error()
+            return
+        state.record(status, (time.perf_counter() - start) * 1e3, payload)
+
+    def worker(worker_index: int) -> None:
+        if barrier is not None:
+            barrier.wait()
+            issue(worker_index)
+            return
+        for request_index in range(worker_index, requests, workers):
+            issue(request_index)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(workers)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - wall_start
+
+    ordered = sorted(state.latencies_ms)
+    ok = state.statuses.get(200, 0)
+    return {
+        "requests": requests,
+        "concurrency": workers,
+        "mode": "burst" if burst else "steady",
+        "ok": ok,
+        "shed_429": state.statuses.get(429, 0),
+        "deadline_504": state.statuses.get(504, 0),
+        "other_errors": sum(
+            count for status, count in state.statuses.items()
+            if status not in (200, 429, 504)
+        ) + state.transport_errors,
+        "statuses": {str(k): v for k, v in sorted(state.statuses.items())},
+        "labels": dict(sorted(state.labels.items())),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(ok / wall_s, 2) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 50), 3),
+            "p95": round(_percentile(ordered, 95), 3),
+            "p99": round(_percentile(ordered, 99), 3),
+            "mean": round(sum(ordered) / len(ordered), 3) if ordered else 0.0,
+            "max": round(ordered[-1], 3) if ordered else 0.0,
+        },
+    }

@@ -1,0 +1,244 @@
+"""Stdlib HTTP serving for the inference engine.
+
+A ``ThreadingHTTPServer`` (one thread per connection, no new
+dependencies) exposing:
+
+``POST /v1/predict``
+    Body ``{"sequence": [[[...]]], "model": "latest", "screen": true,
+    "deadline_ms": 1000}``; responds with the predicted label, class
+    probabilities, optional trigger-screen verdict, and timing.
+``GET /healthz``
+    Liveness plus the default model's input contract (frame count and
+    shape) so clients can size requests without reading the registry.
+``GET /metrics``
+    The process metrics snapshot as JSON (counters, gauges, and the
+    ``serve.*`` latency/batch-size histograms).
+
+Failures map to typed JSON errors, never stack traces: malformed
+requests are 400, unknown models 404, a full admission queue 429, a
+missed deadline 504, and a tampered/unusable registry artifact 503 —
+the :class:`~repro.runtime.errors.ReproError` hierarchy decides the
+status, so new error types default to 500 until given a mapping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..runtime.errors import (
+    DeadlineExceededError,
+    ModelNotFoundError,
+    OverloadError,
+    RegistryError,
+    ReproError,
+)
+from ..runtime.logging import get_logger
+from ..runtime.telemetry import metrics
+from .engine import EngineConfig, InferenceEngine
+from .registry import ModelRegistry
+
+_log = get_logger("serve.http")
+
+#: Request bodies above this bound are rejected before parsing (a 16x16
+#: float sequence is ~100 KB of JSON; this leaves generous headroom).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: ``ReproError`` subclass -> HTTP status.  Order matters: first match
+#: wins, so subclasses precede their bases.
+_ERROR_STATUS = (
+    (ModelNotFoundError, 404),
+    (RegistryError, 503),
+    (OverloadError, 429),
+    (DeadlineExceededError, 504),
+    (ReproError, 500),
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Bind address of the HTTP front end."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back from ``server.port``).
+    port: int = 8077
+
+
+class InferenceServer(ThreadingHTTPServer):
+    """HTTP front end owning one :class:`InferenceEngine`."""
+
+    #: In-flight handler threads must not block interpreter exit.
+    daemon_threads = True
+
+    def __init__(self, address: "tuple[str, int]", engine: InferenceEngine):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.started_at = time.time()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def __enter__(self) -> "InferenceServer":
+        self.engine.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown_engine()
+        self.server_close()
+
+    def shutdown_engine(self) -> None:
+        self.engine.stop()
+
+
+def _error_payload(exc: Exception) -> "tuple[int, dict]":
+    for error_type, status in _ERROR_STATUS:
+        if isinstance(exc, error_type):
+            return status, {
+                "error": {"type": type(exc).__name__, "message": str(exc)}
+            }
+    return 500, {"error": {"type": "InternalError", "message": repr(exc)}}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: InferenceServer
+
+    #: Advertised in error responses and logs.
+    server_version = "repro-serve/1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        try:
+            if self.path == "/healthz":
+                self._send_json(*self._healthz())
+            elif self.path == "/metrics":
+                self._send_json(200, metrics().snapshot())
+            else:
+                self._send_json(404, {
+                    "error": {"type": "NotFound", "message": self.path}
+                })
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            self._send_json(*_error_payload(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        if self.path != "/v1/predict":
+            self._send_json(404, {
+                "error": {"type": "NotFound", "message": self.path}
+            })
+            return
+        try:
+            payload = self._parse_predict_body()
+            prediction = self.server.engine.submit(**payload)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send_json(400, {
+                "error": {"type": "ValidationError", "message": str(exc)}
+            })
+            return
+        except Exception as exc:  # noqa: BLE001 - HTTP boundary
+            self._send_json(*_error_payload(exc))
+            return
+        self._send_json(200, prediction.to_json())
+
+    # -- request/response shaping --------------------------------------
+    def _parse_predict_body(self) -> dict:
+        raw = self._read_body()
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict) or "sequence" not in payload:
+            raise ValueError('body must be an object with a "sequence" key')
+        unknown = set(payload) - {"sequence", "model", "screen", "deadline_ms"}
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        try:
+            sequence = np.asarray(payload["sequence"], dtype=np.float32)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"sequence is not a numeric array: {exc}")
+        screen = payload.get("screen")
+        if screen is not None and not isinstance(screen, bool):
+            raise ValueError("screen must be a boolean")
+        deadline_ms = payload.get("deadline_ms")
+        deadline_s = None
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                raise ValueError("deadline_ms must be a positive number")
+            deadline_s = float(deadline_ms) / 1e3
+        model = payload.get("model", "latest")
+        if not isinstance(model, str):
+            raise ValueError("model must be a string id or alias")
+        return {
+            "sequence": sequence,
+            "model": model,
+            "screen": screen,
+            "deadline_s": deadline_s,
+        }
+
+    def _healthz(self) -> "tuple[int, dict]":
+        engine = self.server.engine
+        body: dict = {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.server.started_at, 3),
+            "queue_depth": engine.queue_depth(),
+            "models": engine.registry.list_models(),
+            "aliases": engine.registry.aliases(),
+        }
+        try:
+            manifest = engine.registry.manifest("latest")
+        except ModelNotFoundError:
+            body["status"] = "empty"
+            return 503, body
+        except RegistryError as exc:
+            body["status"] = "degraded"
+            body["error"] = str(exc)
+            return 503, body
+        body["model"] = {
+            "id": manifest["model_id"],
+            "labels": manifest["labels"],
+            "num_frames": manifest["preprocessing"]["num_frames"],
+            "frame_shape": manifest["preprocessing"]["frame_shape"],
+            "screening": manifest.get("detector") is not None,
+        }
+        return 200, body
+
+
+def build_server(
+    registry_path,
+    engine_config: "EngineConfig | None" = None,
+    server_config: "ServerConfig | None" = None,
+) -> InferenceServer:
+    """Registry path -> ready-to-start server (engine not yet running)."""
+    server_config = server_config or ServerConfig()
+    engine = InferenceEngine(ModelRegistry(registry_path), engine_config)
+    return InferenceServer((server_config.host, server_config.port), engine)

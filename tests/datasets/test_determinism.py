@@ -80,8 +80,10 @@ def test_dataset_content_pinned_against_drift(micro_generation_config):
         "push", "pull", "left_swipe", "right_swipe", "clockwise", "anticlockwise",
     ]
     assert float(dataset.x.max()) == 1.0  # peak-normalized per sequence
-    assert abs(float(dataset.x.mean()) - 0.09437361) < 1e-4
-    assert abs(float(dataset.x.std()) - 0.16637637) < 1e-4
+    # Re-pinned for the single batched float32 thermal-noise draw
+    # (CACHE_SCHEMA_VERSION 4).
+    assert abs(float(dataset.x.mean()) - 0.09434879) < 1e-4
+    assert abs(float(dataset.x.std()) - 0.16628994) < 1e-4
 
 
 def test_cache_key_pinned_against_drift():

@@ -183,3 +183,63 @@ def test_simulate_sequence_with_static_extras(simulator):
 def test_empty_sequence_rejected(simulator):
     with pytest.raises(ValueError):
         simulator.simulate_sequence([])
+
+
+# ----------------------------------------------------------------------
+# Adaptive chunk facet budget
+# ----------------------------------------------------------------------
+
+def test_facet_budget_scales_with_cores(monkeypatch):
+    import os
+
+    from repro.radar import simulator as sim
+
+    monkeypatch.delenv("REPRO_FACET_BUDGET", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert sim.chunk_facet_budget() == sim._BASE_FACET_BUDGET * 2
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert sim.chunk_facet_budget() == sim._BASE_FACET_BUDGET
+
+
+def test_facet_budget_clamped_to_bounds(monkeypatch):
+    import os
+
+    from repro.radar import simulator as sim
+
+    monkeypatch.delenv("REPRO_FACET_BUDGET", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 1024)
+    assert sim.chunk_facet_budget() == sim._MAX_FACET_BUDGET
+
+
+def test_facet_budget_env_override_and_clamp(monkeypatch):
+    from repro.radar import simulator as sim
+
+    monkeypatch.setenv("REPRO_FACET_BUDGET", "8192")
+    assert sim.chunk_facet_budget() == 8192
+    monkeypatch.setenv("REPRO_FACET_BUDGET", "1")
+    assert sim.chunk_facet_budget() == sim._MIN_FACET_BUDGET
+    monkeypatch.setenv("REPRO_FACET_BUDGET", str(10 ** 9))
+    assert sim.chunk_facet_budget() == sim._MAX_FACET_BUDGET
+
+
+def test_facet_budget_ignores_malformed_override(monkeypatch):
+    import os
+
+    from repro.radar import simulator as sim
+
+    monkeypatch.setenv("REPRO_FACET_BUDGET", "not-a-number")
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert sim.chunk_facet_budget() == sim._BASE_FACET_BUDGET
+
+
+def test_facet_budget_does_not_change_simulation(simulator, monkeypatch):
+    """The budget is a pure chunking knob: output bytes are invariant."""
+    meshes = [
+        uv_sphere(0.1, rings=4, segments=6).translated([0.0, 1.0 + 0.01 * t, 0.0])
+        for t in range(3)
+    ]
+    monkeypatch.setenv("REPRO_FACET_BUDGET", "4096")
+    small_chunks = simulator.simulate_sequence(meshes)
+    monkeypatch.setenv("REPRO_FACET_BUDGET", "262144")
+    large_chunks = simulator.simulate_sequence(meshes)
+    assert small_chunks.tobytes() == large_chunks.tobytes()

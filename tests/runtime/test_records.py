@@ -99,3 +99,60 @@ def test_format_failed_outcome():
     text = format_run_record(record)
     assert "failed" in text
     assert "ValueError: boom" in text
+
+
+def test_format_renders_histogram_quantiles():
+    """Serving latency histograms render as a le-bucket quantile summary
+    (count/mean/p50/p95/p99), not a raw bucket dict."""
+    from repro.runtime.telemetry import Histogram
+
+    histogram = Histogram("serve.request_latency_s", (0.01, 0.1, 1.0))
+    for value in (0.02, 0.03, 0.05, 0.07, 0.5):
+        histogram.observe(value)
+    record = RunRecord(
+        name="infer",
+        metrics={"serve.request_latency_s": histogram.snapshot()},
+        outcome={"status": "ok"},
+    )
+    text = format_run_record(record)
+    line = next(
+        l for l in text.splitlines() if "serve.request_latency_s" in l
+    )
+    assert "count=5" in line
+    for marker in ("mean=", "p50=", "p95=", "p99="):
+        assert marker in line
+    assert "buckets" not in line
+
+
+def test_format_histogram_empty_skips_quantiles():
+    from repro.runtime.telemetry import Histogram
+
+    snap = Histogram("empty", (1.0,)).snapshot()
+    record = RunRecord(name="x", metrics={"empty": snap}, outcome={})
+    line = next(
+        l for l in format_run_record(record).splitlines() if "empty" in l
+    )
+    assert "count=0" in line
+    assert "p50" not in line
+
+
+def test_quantile_from_buckets_interpolates():
+    from repro.runtime.telemetry import Histogram, quantile_from_buckets
+
+    histogram = Histogram("h", (1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.6, 3.0, 10.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    # Median rank (2.5 of 5) lands in the (1, 2] bucket.
+    assert 1.0 < quantile_from_buckets(snap, 0.5) <= 2.0
+    # Overflow ranks return the last finite bound, not infinity.
+    assert quantile_from_buckets(snap, 1.0) == 4.0
+    assert quantile_from_buckets(snap, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        quantile_from_buckets(snap, 1.5)
+
+
+def test_quantile_from_buckets_empty_snapshot():
+    from repro.runtime.telemetry import quantile_from_buckets
+
+    assert quantile_from_buckets({"count": 0, "buckets": {}}, 0.5) == 0.0

@@ -1,0 +1,127 @@
+"""Model registry: atomic publish, aliases, and tamper detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.activities import ACTIVITY_NAMES
+from repro.models import CNNLSTMClassifier
+from repro.runtime.errors import ModelNotFoundError, RegistryError
+from repro.serve import ModelRegistry
+from repro.serve.registry import REGISTRY_SCHEMA_VERSION
+
+from ..conftest import MICRO_MODEL_CONFIG
+from .conftest import NUM_FRAMES
+
+
+def test_publish_creates_content_addressed_artifact(published_registry):
+    registry, model_id = published_registry
+    assert model_id.startswith("m-")
+    assert registry.list_models() == [model_id]
+    assert registry.resolve("latest") == model_id
+    assert registry.resolve(model_id) == model_id
+    manifest = registry.manifest("latest")
+    assert manifest["model_id"] == model_id
+    assert manifest["schema_version"] == REGISTRY_SCHEMA_VERSION
+    assert manifest["labels"] == list(ACTIVITY_NAMES)
+    assert manifest["preprocessing"]["num_frames"] == NUM_FRAMES
+    assert manifest["detector"] is not None
+
+
+def test_republish_identical_content_is_idempotent(
+    published_registry, trained_micro_model, micro_detector
+):
+    registry, model_id = published_registry
+    again = registry.publish(
+        trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES,
+        detector=micro_detector,
+    )
+    assert again == model_id
+    assert registry.list_models() == [model_id]
+    # No leftover staging directories from the no-op republish.
+    leftovers = [
+        entry.name
+        for entry in registry.models_dir.iterdir()
+        if entry.name.startswith(".staging-")
+    ]
+    assert leftovers == []
+
+
+def test_unknown_reference_raises_model_not_found(published_registry):
+    registry, _ = published_registry
+    with pytest.raises(ModelNotFoundError):
+        registry.resolve("m-000000000000")
+    with pytest.raises(ModelNotFoundError):
+        registry.load("no-such-alias")
+
+
+def test_alias_must_point_at_existing_model(published_registry):
+    registry, _ = published_registry
+    with pytest.raises(ModelNotFoundError):
+        registry.set_alias("canary", "m-000000000000")
+
+
+def test_alias_repoint_and_pinned_id_coexist(tmp_path, trained_micro_model):
+    registry = ModelRegistry(tmp_path)
+    first = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    other_model = CNNLSTMClassifier(
+        MICRO_MODEL_CONFIG, np.random.default_rng(99)
+    )
+    second = registry.publish(other_model, ACTIVITY_NAMES, NUM_FRAMES)
+    assert first != second
+    assert registry.resolve("latest") == second  # repointed by publish
+    assert registry.resolve(first) == first  # pinned id still resolves
+    registry.set_alias("stable", first)
+    assert registry.resolve("stable") == first
+
+
+def test_tampered_weights_detected_by_checksum(tmp_path, trained_micro_model):
+    registry = ModelRegistry(tmp_path)
+    model_id = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    weights = registry.model_dir(model_id) / "weights.npz"
+    corrupted = bytearray(weights.read_bytes())
+    corrupted[len(corrupted) // 2] ^= 0xFF
+    weights.write_bytes(bytes(corrupted))
+    with pytest.raises(RegistryError, match="checksum mismatch"):
+        registry.load("latest")
+
+
+def test_hand_edited_manifest_detected_by_id_recheck(
+    tmp_path, trained_micro_model
+):
+    """Even a self-consistent manifest edit (checksum swapped to match
+    replaced bytes) fails the content-derived-id recomputation."""
+    registry = ModelRegistry(tmp_path)
+    model_id = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    manifest_path = registry.model_dir(model_id) / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["labels"][0] = "tampered"
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(RegistryError, match="does not match its model id"):
+        registry.verify("latest")
+
+
+def test_missing_artifact_file_detected(tmp_path, trained_micro_model):
+    registry = ModelRegistry(tmp_path)
+    model_id = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    (registry.model_dir(model_id) / "weights.npz").unlink()
+    with pytest.raises(RegistryError, match="missing artifact file"):
+        registry.load("latest")
+
+
+def test_stale_schema_version_refused(tmp_path, trained_micro_model):
+    registry = ModelRegistry(tmp_path)
+    model_id = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    manifest_path = registry.model_dir(model_id) / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema_version"] = REGISTRY_SCHEMA_VERSION + 1
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(RegistryError, match="manifest schema"):
+        registry.manifest("latest")
+
+
+def test_label_count_must_match_model(trained_micro_model, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    with pytest.raises(ValueError, match="labels"):
+        registry.publish(trained_micro_model, ("just-one",), NUM_FRAMES)
