@@ -2,10 +2,12 @@
 
 Times the pipeline's hot stages — simulator facet extraction, frame-cube
 synthesis, batched sequence synthesis, the FFT chain, DRAI generation, one
-training epoch, placement candidate scoring, and a micro-batched serving
-round (concurrent submits coalesced by the inference engine) — on a
-fixed, seeded workload, and reports the batched fast path's speedup over
-the pinned per-frame reference.  Results are written as a schema-versioned JSON
+training epoch, placement candidate scoring, a micro-batched serving
+round (concurrent submits coalesced by the inference engine), and a
+replica-fleet scaling round (the same request load against 1 vs 3
+supervised worker processes) — on a fixed, seeded workload, and reports
+the batched fast path's speedup over the pinned per-frame reference plus
+the fleet's multi-process throughput gain.  Results are written as a schema-versioned JSON
 (``BENCH_<UTC-date>.json``) so successive runs on the same machine are
 directly comparable and regressions show up as a diff.
 
@@ -52,7 +54,18 @@ _log = get_logger("bench")
 #: Bump when the result JSON layout changes so downstream tooling
 #: (CI schema validation, comparison scripts) can refuse mismatches.
 #: v2: added the ``serve.engine`` micro-batched serving stage.
-BENCH_SCHEMA_VERSION = 2
+#: v3: added the ``serve.fleet_single``/``serve.fleet`` replica-scaling
+#: stages and the top-level ``fleet`` throughput block.
+BENCH_SCHEMA_VERSION = 3
+
+#: Requests per fleet-scaling round and the fleet size it is scaled
+#: against.  Scaling is core-bound: with >= 3 cores the fleet's
+#: process parallelism buys >= 2x over one replica on GIL-bound numpy
+#: inference; on a 1-CPU container the stage instead measures the
+#: supervision overhead (scaling ~1x).
+_FLEET_BENCH_REQUESTS = 24
+_FLEET_BENCH_REPLICAS = 3
+_FLEET_BENCH_WORKERS = 8
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,17 @@ def run_bench(preset_name: str = "small") -> "dict[str, object]":
             in ("simulate", "process", "dataset", "train", "attack")
         },
     }
+    single = stages["serve.fleet_single"]
+    scaled = stages["serve.fleet"]
+    rps_single = single["requests"] / single["min_s"]
+    rps_fleet = scaled["requests"] / scaled["min_s"]
+    result["fleet"] = {
+        "replicas": scaled["replicas"],
+        "requests": scaled["requests"],
+        "rps_single": rps_single,
+        "rps_fleet": rps_fleet,
+        "scaling": rps_fleet / rps_single,
+    }
     return result
 
 
@@ -295,6 +319,53 @@ def _run_stages(preset: BenchPreset) -> "dict[str, dict]":
                 serve_round, max(1, preset.repeats // 2)
             )
 
+        _log.info(
+            "bench: fleet scaling (1 vs %d replicas, %d requests)",
+            _FLEET_BENCH_REPLICAS, _FLEET_BENCH_REQUESTS,
+        )
+        from .serve.fleet import FleetConfig, ReplicaFleet
+
+        def fleet_round(fleet: ReplicaFleet) -> None:
+            errors: "list[Exception]" = []
+
+            def worker(worker_index: int) -> None:
+                for index in range(
+                    worker_index, _FLEET_BENCH_REQUESTS, _FLEET_BENCH_WORKERS
+                ):
+                    try:
+                        fleet.submit(x[index % len(x)])
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(_FLEET_BENCH_WORKERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+
+        # max_batch=1 keeps the comparison honest: replica scaling must
+        # come from process parallelism, not from micro-batching tricks.
+        fleet_engine = EngineConfig(
+            max_batch=1, max_delay_ms=0.0, screen_by_default=False
+        )
+        for stage_name, replicas in (
+            ("serve.fleet_single", 1),
+            ("serve.fleet", _FLEET_BENCH_REPLICAS),
+        ):
+            config = FleetConfig(replicas=replicas, engine=fleet_engine)
+            with ReplicaFleet(registry, config) as fleet:
+                fleet.wait_until_ready(replicas, config.start_timeout_s)
+                stages[stage_name] = _time_stage(
+                    lambda: fleet_round(fleet), max(1, preset.repeats // 2)
+                )
+                stages[stage_name]["requests"] = _FLEET_BENCH_REQUESTS
+                stages[stage_name]["replicas"] = replicas
+
     _log.info(
         "bench: placement scoring (%d candidates)", preset.placement_candidates
     )
@@ -336,7 +407,8 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         raise ValueError(
             f"schema_version {result.get('schema_version')!r} != {BENCH_SCHEMA_VERSION}"
         )
-    for key in ("generated_utc", "preset", "machine", "stages", "throughput", "speedup"):
+    for key in ("generated_utc", "preset", "machine", "stages", "throughput",
+                "speedup", "fleet"):
         if key not in result:
             raise ValueError(f"missing top-level key {key!r}")
     stages = result["stages"]
@@ -352,6 +424,8 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         "sample.end_to_end_reference",
         "train.epoch",
         "serve.engine",
+        "serve.fleet_single",
+        "serve.fleet",
         "attack.placement_scoring",
     )
     for name in required_stages:
@@ -370,6 +444,10 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         value = result["speedup"].get(field)
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(f"speedup field {field!r} invalid: {value!r}")
+    for field in ("replicas", "requests", "rps_single", "rps_fleet", "scaling"):
+        value = result["fleet"].get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"fleet field {field!r} invalid: {value!r}")
 
 
 def default_output_path(result: "dict[str, object]") -> Path:
@@ -415,5 +493,10 @@ def format_bench_result(result: "dict[str, object]") -> str:
     lines.append(
         "speedup vs per-frame reference: simulate {simulate:.2f}x, "
         "drai {drai:.2f}x, end-to-end {end_to_end:.2f}x".format(**speedup)
+    )
+    fleet = result["fleet"]  # type: ignore[assignment]
+    lines.append(
+        "fleet scaling: {rps_single:.1f} req/s x1 -> {rps_fleet:.1f} req/s "
+        "x{replicas} ({scaling:.2f}x)".format(**fleet)
     )
     return "\n".join(lines)

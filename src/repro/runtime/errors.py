@@ -18,7 +18,10 @@ The hierarchy mirrors the pipeline stages::
         ├── RegistryError         model artifact unusable (tampered, stale)
         │   └── ModelNotFoundError   unknown model id or alias
         ├── OverloadError         admission queue full (HTTP 429)
-        └── DeadlineExceededError request deadline hit (HTTP 504)
+        ├── DeadlineExceededError request deadline hit (HTTP 504)
+        ├── ReplicaDiedError      replica crashed holding the request (503)
+        ├── DrainingError         fleet is draining, not admitting (503)
+        └── CircuitOpenError      no healthy replica / breaker open (503)
 """
 
 from __future__ import annotations
@@ -127,3 +130,27 @@ class OverloadError(ServeError):
 class DeadlineExceededError(ServeError):
     """The request's deadline elapsed before a result was produced
     (HTTP 504); the worker never wedges on an abandoned request."""
+
+
+class ReplicaDiedError(ServeError):
+    """The replica holding this in-flight request died (crash, kill -9,
+    heartbeat-timeout termination) before producing a result.  Maps to
+    HTTP 503: the request itself was fine and an idempotent client can
+    retry it against the surviving replicas."""
+
+
+class DrainingError(ServeError):
+    """The fleet is draining (SIGTERM received): in-flight requests are
+    being flushed but no new work is admitted.  Maps to HTTP 503 with
+    Retry-After, pointing clients at another instance."""
+
+
+class CircuitOpenError(ServeError):
+    """No replica can take the request: every replica is dead/unhealthy
+    or the per-model circuit breaker is open after consecutive failures.
+    Maps to HTTP 503 with ``Retry-After: retry_after_s`` so clients back
+    off for the breaker's cooldown instead of hammering a sick fleet."""
+
+    def __init__(self, reason: str, retry_after_s: float = 1.0):
+        super().__init__(reason)
+        self.retry_after_s = float(retry_after_s)

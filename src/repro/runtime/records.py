@@ -126,6 +126,10 @@ def format_run_record(record: RunRecord) -> str:
     if record.metrics:
         lines.append("  metrics:")
         for name, snap in sorted(record.metrics.items()):
+            if not isinstance(snap, dict):
+                # Bare scalars (e.g. the chaos drill's fleet counters).
+                lines.append(f"    {name:<36} {snap}")
+                continue
             kind = snap.get("type", "?")
             if kind == "histogram":
                 lines.append(f"    {name:<36} {_format_histogram(snap)}")

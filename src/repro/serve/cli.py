@@ -1,12 +1,18 @@
 """CLI verbs for the serving stack: ``publish``, ``serve``, ``infer``.
 
 ``repro publish`` trains a classifier (optionally bundling the Section
-VII trigger detector) and publishes it into a registry directory;
-``repro serve`` fronts that registry with the micro-batching HTTP
-server; ``repro infer`` drives a running server with the concurrent load
-generator and folds the latency percentiles plus the server's metrics
-snapshot into a run record, so ``repro stats`` can render the serving
-histograms afterwards.
+VII trigger detector) and publishes it into a registry directory
+(``--gc`` then collects alias-unreachable artifacts); ``repro serve``
+fronts that registry with the micro-batching HTTP server — one
+in-process engine by default, a supervised crash-isolated
+:class:`~repro.serve.fleet.ReplicaFleet` with ``--replicas N``;
+``repro infer`` drives a running server with the concurrent load
+generator (``--retry`` for the idempotent-retry client posture) and
+folds the latency percentiles plus the server's metrics snapshot into a
+run record, so ``repro stats`` can render the serving and fleet
+histograms afterwards.  ``repro infer --chaos`` self-hosts a fleet,
+injects a fault (kill -9 / hang / slow) mid-load, and asserts the
+recovery SLO.
 
 Kept separate from ``repro.cli`` so the experiment CLI stays readable;
 that module registers these subparsers and dispatches here.
@@ -58,6 +64,12 @@ def add_serve_arguments(subparsers) -> None:
                          "(default: latest; repeatable)")
     publish.add_argument("--no-cache", action="store_true",
                          help="disable the on-disk dataset cache")
+    publish.add_argument("--gc", action="store_true",
+                         help="after publishing, remove artifact "
+                         "directories unreachable from any alias")
+    publish.add_argument("--gc-dry-run", action="store_true",
+                         help="with --gc: report what would be removed "
+                         "without deleting anything")
 
     serve = subparsers.add_parser(
         "serve", help="serve a model registry over HTTP"
@@ -78,6 +90,10 @@ def add_serve_arguments(subparsers) -> None:
     serve.add_argument("--no-screen", action="store_true",
                        help="do not run the trigger detector by default")
     serve.add_argument("--screen-threshold", type=float, default=0.5)
+    serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="engine replicas; >1 runs a supervised "
+                       "crash-isolated worker fleet with health-checked "
+                       "routing, respawn, and hot reload")
 
     infer = subparsers.add_parser(
         "infer", help="send predictions to a running server (load generator)"
@@ -98,9 +114,24 @@ def add_serve_arguments(subparsers) -> None:
                        "synthesize noise shaped by GET /healthz)")
     infer.add_argument("--seed", type=int, default=0,
                        help="seed for synthesized request sequences")
+    infer.add_argument("--retry", action="store_true",
+                       help="retry idempotent predicts shed with 429/503, "
+                       "honoring the server's Retry-After header")
     infer.add_argument("--runs-dir", metavar="DIR", default=None,
                        help="directory for the run record "
                        "(default runs/, or REPRO_RUNS_DIR)")
+    infer.add_argument("--chaos", action="store_true",
+                       help="self-host a replica fleet from --registry, "
+                       "inject a fault mid-load, and assert recovery")
+    infer.add_argument("--registry", metavar="DIR", default=None,
+                       help="registry for the self-hosted --chaos fleet")
+    infer.add_argument("--chaos-fault", default="kill",
+                       choices=["kill", "hang", "slow"],
+                       help="fault injected by --chaos (default: kill -9)")
+    infer.add_argument("--chaos-replicas", type=int, default=3, metavar="N",
+                       help="fleet size for the --chaos drill")
+    infer.add_argument("--chaos-slot", type=int, default=0, metavar="SLOT",
+                       help="which replica slot the fault hits")
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +196,14 @@ def run_publish(args: argparse.Namespace, log) -> int:
         model_id, args.registry, ", ".join(aliases),
         " with trigger detector" if detector is not None else "",
     )
+    if args.gc or args.gc_dry_run:
+        report = registry.gc(dry_run=args.gc_dry_run)
+        log.info(
+            "registry gc: %s %d models + %d staging dirs (%.1f KB), kept %d",
+            "would remove" if report["dry_run"] else "removed",
+            len(report["removed"]), report["staging_removed"],
+            report["reclaimed_bytes"] / 1024, len(report["kept"]),
+        )
     print(model_id)
     return 0
 
@@ -181,18 +220,15 @@ def run_serve(args: argparse.Namespace, log) -> int:
         screen_by_default=not args.no_screen,
         screen_threshold=args.screen_threshold,
     )
+    fleet_config = None
+    if args.replicas > 1:
+        from .fleet import FleetConfig
+
+        fleet_config = FleetConfig(replicas=args.replicas, engine=engine_config)
     server = build_server(
-        args.registry, engine_config, ServerConfig(args.host, args.port)
+        args.registry, engine_config, ServerConfig(args.host, args.port),
+        fleet_config,
     )
-    try:
-        loaded = server.engine.warm("latest")
-        log.info("warmed model %s (screening: %s)",
-                 loaded.model_id, loaded.detector is not None)
-    except ReproError as exc:
-        log.warning(
-            "no warm model yet (%s); publish one with `repro publish "
-            "--registry %s`", exc, args.registry,
-        )
 
     def _interrupt(signum: int, frame) -> None:
         raise KeyboardInterrupt
@@ -201,12 +237,29 @@ def run_serve(args: argparse.Namespace, log) -> int:
         signal.signal(signal.SIGTERM, _interrupt)
     except ValueError:  # pragma: no cover - non-main thread
         pass
+    # The fleet path warms on replica startup (inside server.__enter__);
+    # the single-engine path warms here so the first request is not cold.
     with server:
+        if fleet_config is None:
+            try:
+                loaded = server.engine.warm("latest")
+                log.info("warmed model %s (screening: %s)",
+                         loaded.model_id, loaded.detector is not None)
+            except ReproError as exc:
+                log.warning(
+                    "no warm model yet (%s); publish one with `repro publish "
+                    "--registry %s`", exc, args.registry,
+                )
+        else:
+            log.info(
+                "fleet of %d replicas up (%d READY)",
+                args.replicas, server.engine.ready_count(),
+            )
         print(f"serving registry {args.registry} at {server.url}", flush=True)
         try:
             server.serve_forever(poll_interval=0.2)
         except KeyboardInterrupt:
-            log.info("shutting down")
+            log.info("draining and shutting down")
     return 0
 
 
@@ -261,6 +314,11 @@ def _format_load_summary(summary: dict, model_id: "str | None") -> str:
         f"  throughput  {summary['throughput_rps']} req/s "
         f"over {summary['wall_s']} s",
     ]
+    if summary.get("retries"):
+        lines.append(
+            f"  retries     {summary['retries']} "
+            f"(recovered {summary['recovered_after_retry']} requests)"
+        )
     if summary["labels"]:
         label_text = " ".join(
             f"{name}={count}" for name, count in summary["labels"].items()
@@ -270,6 +328,8 @@ def _format_load_summary(summary: dict, model_id: "str | None") -> str:
 
 
 def run_infer(args: argparse.Namespace, log) -> int:
+    if args.chaos:
+        return _run_chaos_infer(args, log)
     base_url = args.url.rstrip("/")
     try:
         health = fetch_json(base_url, "/healthz")
@@ -288,6 +348,7 @@ def run_infer(args: argparse.Namespace, log) -> int:
         screen=args.screen,
         deadline_ms=args.deadline_ms,
         burst=args.burst,
+        retry=args.retry,
     )
     try:
         server_metrics = fetch_json(base_url, "/metrics")
@@ -308,6 +369,7 @@ def run_infer(args: argparse.Namespace, log) -> int:
             "deadline_ms": args.deadline_ms,
             "input": args.input,
             "seed": args.seed,
+            "retry": args.retry,
         },
         metrics=server_metrics,
         outcome={
@@ -321,3 +383,85 @@ def run_infer(args: argparse.Namespace, log) -> int:
     log.info("run record written to %s", path)
     print(_format_load_summary(summary, model_id))
     return 0 if summary["ok"] > 0 else 1
+
+
+# ----------------------------------------------------------------------
+# infer --chaos
+# ----------------------------------------------------------------------
+def _run_chaos_infer(args: argparse.Namespace, log) -> int:
+    """Self-host a fleet, inject the planned fault mid-load, assert SLO."""
+    import threading
+
+    from .chaos import ChaosPlan, assert_recovery, run_chaos
+    from .fleet import FleetConfig
+
+    if not args.registry:
+        log.error("--chaos needs --registry to self-host a fleet")
+        return 2
+    fleet_config = FleetConfig(
+        replicas=args.chaos_replicas,
+        engine=EngineConfig(screen_by_default=False),
+        heartbeat_interval_s=0.1,
+        heartbeat_miss_dead=6,
+    )
+    server = build_server(
+        args.registry, None, ServerConfig(port=0), fleet_config
+    )
+    started = time.strftime("%Y%m%dT%H%M%S")
+    plan = ChaosPlan(
+        fault=args.chaos_fault,
+        target_slot=args.chaos_slot,
+        requests=args.requests,
+        concurrency=args.concurrency,
+    )
+    with server:
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            health = fetch_json(server.url, "/healthz")
+            sequences = _load_sequences(args, health, log)
+            if sequences is None:
+                return 2
+            log.info(
+                "chaos drill: %d replicas at %s, fault=%s slot=%d "
+                "under %d requests",
+                args.chaos_replicas, server.url, plan.fault,
+                plan.target_slot, plan.requests,
+            )
+            report = run_chaos(server.engine, server.url, sequences, plan)
+        finally:
+            server.shutdown()
+            thread.join()
+    try:
+        assert_recovery(report)
+        verdict = {"status": "ok"}
+    except AssertionError as exc:
+        verdict = {"status": "failed", "error": str(exc)}
+    record = RunRecord(
+        name="chaos",
+        timestamp=started,
+        config={"registry": str(args.registry), **report["plan"]},
+        metrics=report.get("fleet_counters") or {},
+        outcome={**verdict, **report},
+    )
+    path = write_run_record(
+        record, Path(args.runs_dir) if args.runs_dir else None
+    )
+    log.info("chaos run record written to %s", path)
+    if verdict["status"] != "ok":
+        log.error("%s", verdict["error"])
+        print(f"chaos: FAILED - {verdict['error']}")
+        return 1
+    recovery = report["recovery"]
+    print(
+        f"chaos: ok - fault={plan.fault} slot={plan.target_slot} "
+        f"{report['load']['ok']}/{plan.requests} requests succeeded "
+        f"({report['load']['retries']} retries), recovered in "
+        f"{recovery['wait_s']}s (pid {recovery['pid_before']} -> "
+        f"{recovery['pid_after']}), post-recovery p99 "
+        f"{report['post']['latency_ms']['p99']} ms"
+    )
+    return 0

@@ -26,6 +26,7 @@ online, in the only place a physical backdoor actually fires.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -206,6 +207,7 @@ class InferenceEngine:
         self._wakeup = threading.Condition()
         self._running = False
         self._thread: "threading.Thread | None" = None
+        self._started_at: "float | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,6 +216,7 @@ class InferenceEngine:
         if self._thread is not None:
             raise ServeError("engine already started")
         self._running = True
+        self._started_at = time.monotonic()
         self._thread = threading.Thread(
             target=self._worker, name="serve-engine", daemon=True
         )
@@ -244,6 +247,43 @@ class InferenceEngine:
     def queue_depth(self) -> int:
         with self._wakeup:
             return len(self._queue)
+
+    def replica_states(self) -> "list[dict]":
+        """Single-replica view of the fleet health contract.
+
+        :class:`~repro.serve.fleet.ReplicaFleet` exposes the same method,
+        so ``/readyz`` renders per-replica state JSON without caring
+        whether one in-process engine or a supervised fleet is behind it.
+        """
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        with self._cache._lock:
+            warmed = sorted(self._cache._models)
+        return [{
+            "slot": 0,
+            "state": "READY" if self._running else "DEAD",
+            "pid": os.getpid(),
+            "generation": 0,
+            "inflight": self.queue_depth(),
+            "respawns": 0,
+            "uptime_s": round(uptime, 3),
+            "warmed": warmed,
+        }]
+
+    def describe(self) -> dict:
+        """Health summary matching ``ReplicaFleet.describe()``."""
+        states = self.replica_states()
+        return {
+            "replicas": states,
+            "ready": sum(1 for s in states if s["state"] == "READY"),
+            "total": len(states),
+            "draining": False,
+            "inflight": self.queue_depth(),
+            "alias_pins": {},
+            "reload_in_progress": None,
+        }
 
     def submit(
         self,

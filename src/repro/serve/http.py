@@ -8,17 +8,25 @@ dependencies) exposing:
     "deadline_ms": 1000}``; responds with the predicted label, class
     probabilities, optional trigger-screen verdict, and timing.
 ``GET /healthz``
-    Liveness plus the default model's input contract (frame count and
-    shape) so clients can size requests without reading the registry.
+    Pure liveness (200 while the process can answer), plus the default
+    model's input contract (frame count and shape) when one is published
+    so clients can size requests without reading the registry.
+``GET /readyz``
+    Readiness: 200 only when at least one replica is READY and the
+    default model resolves; the body carries per-replica state JSON
+    (slot, state, pid, in-flight count, respawns) from either the
+    in-process engine or a :class:`~repro.serve.fleet.ReplicaFleet`.
 ``GET /metrics``
     The process metrics snapshot as JSON (counters, gauges, and the
-    ``serve.*`` latency/batch-size histograms).
+    ``serve.*``/``fleet.*`` latency/batch-size histograms).
 
 Failures map to typed JSON errors, never stack traces: malformed
-requests are 400, unknown models 404, a full admission queue 429, a
-missed deadline 504, and a tampered/unusable registry artifact 503 —
-the :class:`~repro.runtime.errors.ReproError` hierarchy decides the
-status, so new error types default to 500 until given a mapping.
+requests are 400, oversized bodies 413, unknown models 404, a full
+admission queue 429, a missed deadline 504, and a tampered registry
+artifact / dead replica / draining or breaker-open fleet 503 (with a
+``Retry-After`` header carrying the breaker's cooldown) — the
+:class:`~repro.runtime.errors.ReproError` hierarchy decides the status,
+so new error types default to 500 until given a mapping.
 """
 
 from __future__ import annotations
@@ -31,10 +39,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..runtime.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
+    DrainingError,
     ModelNotFoundError,
     OverloadError,
     RegistryError,
+    ReplicaDiedError,
     ReproError,
 )
 from ..runtime.logging import get_logger
@@ -55,28 +66,62 @@ _ERROR_STATUS = (
     (RegistryError, 503),
     (OverloadError, 429),
     (DeadlineExceededError, 504),
+    (ReplicaDiedError, 503),
+    (DrainingError, 503),
+    (CircuitOpenError, 503),
     (ReproError, 500),
 )
 
 
+class _PayloadTooLarge(Exception):
+    """Request body above the configured bound (HTTP 413)."""
+
+
+def _retry_after(status: int, exc: "Exception | None") -> "str | None":
+    """``Retry-After`` value for shed statuses, else None.
+
+    503s caused by an open breaker carry the breaker's actual cooldown
+    (``CircuitOpenError.retry_after_s``, decimal seconds) so idempotent
+    clients back off for exactly as long as the fleet needs.
+    """
+    if status == 429:
+        return "1"
+    if status == 503:
+        return f"{max(float(getattr(exc, 'retry_after_s', 1.0)), 0.05):.3f}"
+    return None
+
+
 @dataclass(frozen=True)
 class ServerConfig:
-    """Bind address of the HTTP front end."""
+    """Bind address and request bounds of the HTTP front end."""
 
     host: str = "127.0.0.1"
     #: 0 binds an ephemeral port (read it back from ``server.port``).
     port: int = 8077
+    #: Bodies above this are rejected with 413 before parsing.
+    max_body_bytes: int = MAX_BODY_BYTES
 
 
 class InferenceServer(ThreadingHTTPServer):
-    """HTTP front end owning one :class:`InferenceEngine`."""
+    """HTTP front end owning one engine-like backend.
+
+    ``engine`` is anything with the engine surface — an in-process
+    :class:`InferenceEngine` or a :class:`~repro.serve.fleet.ReplicaFleet`
+    of supervised worker processes; the handler never distinguishes.
+    """
 
     #: In-flight handler threads must not block interpreter exit.
     daemon_threads = True
 
-    def __init__(self, address: "tuple[str, int]", engine: InferenceEngine):
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        engine: InferenceEngine,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
         super().__init__(address, _Handler)
         self.engine = engine
+        self.max_body_bytes = max_body_bytes
         self.started_at = time.time()
 
     @property
@@ -119,13 +164,17 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         _log.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, retry_after: "str | None" = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        if status == 429:
-            self.send_header("Retry-After", "1")
+        if retry_after is None:
+            retry_after = _retry_after(status, None)
+        if retry_after is not None:
+            self.send_header("Retry-After", retry_after)
         self.end_headers()
         self.wfile.write(body)
 
@@ -133,8 +182,11 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
             raise ValueError("request body required")
-        if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length > self.server.max_body_bytes:
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds "
+                f"{self.server.max_body_bytes}"
+            )
         return self.rfile.read(length)
 
     # -- routes --------------------------------------------------------
@@ -142,6 +194,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 self._send_json(*self._healthz())
+            elif self.path == "/readyz":
+                self._send_json(*self._readyz())
             elif self.path == "/metrics":
                 self._send_json(200, metrics().snapshot())
             else:
@@ -149,7 +203,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": {"type": "NotFound", "message": self.path}
                 })
         except Exception as exc:  # noqa: BLE001 - HTTP boundary
-            self._send_json(*_error_payload(exc))
+            status, payload = _error_payload(exc)
+            self._send_json(status, payload, _retry_after(status, exc))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
         if self.path != "/v1/predict":
@@ -160,13 +215,19 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._parse_predict_body()
             prediction = self.server.engine.submit(**payload)
+        except _PayloadTooLarge as exc:
+            self._send_json(413, {
+                "error": {"type": "PayloadTooLarge", "message": str(exc)}
+            })
+            return
         except (ValueError, TypeError, KeyError) as exc:
             self._send_json(400, {
                 "error": {"type": "ValidationError", "message": str(exc)}
             })
             return
         except Exception as exc:  # noqa: BLE001 - HTTP boundary
-            self._send_json(*_error_payload(exc))
+            status, payload = _error_payload(exc)
+            self._send_json(status, payload, _retry_after(status, exc))
             return
         self._send_json(200, prediction.to_json())
 
@@ -206,6 +267,12 @@ class _Handler(BaseHTTPRequestHandler):
         }
 
     def _healthz(self) -> "tuple[int, dict]":
+        """Pure liveness: 200 whenever the process can answer at all.
+
+        The default model's input contract rides along best-effort so
+        clients can size requests, but a missing or degraded model never
+        fails liveness — that is ``/readyz``'s job.
+        """
         engine = self.server.engine
         body: dict = {
             "status": "ok",
@@ -218,11 +285,11 @@ class _Handler(BaseHTTPRequestHandler):
             manifest = engine.registry.manifest("latest")
         except ModelNotFoundError:
             body["status"] = "empty"
-            return 503, body
+            return 200, body
         except RegistryError as exc:
             body["status"] = "degraded"
             body["error"] = str(exc)
-            return 503, body
+            return 200, body
         body["model"] = {
             "id": manifest["model_id"],
             "labels": manifest["labels"],
@@ -232,13 +299,43 @@ class _Handler(BaseHTTPRequestHandler):
         }
         return 200, body
 
+    def _readyz(self) -> "tuple[int, dict]":
+        """Readiness: >= 1 READY replica and a resolvable default model."""
+        engine = self.server.engine
+        body = engine.describe()
+        try:
+            engine.registry.resolve("latest")
+            model_ok = True
+        except ReproError:
+            model_ok = False
+        ready = body["ready"] >= 1 and model_ok and not body["draining"]
+        body["model_resolvable"] = model_ok
+        body["status"] = "ready" if ready else "unready"
+        return (200 if ready else 503), body
+
 
 def build_server(
     registry_path,
     engine_config: "EngineConfig | None" = None,
     server_config: "ServerConfig | None" = None,
+    fleet_config=None,
 ) -> InferenceServer:
-    """Registry path -> ready-to-start server (engine not yet running)."""
+    """Registry path -> ready-to-start server (backend not yet running).
+
+    With ``fleet_config`` (a :class:`~repro.serve.fleet.FleetConfig`) the
+    server fronts a supervised multi-process :class:`ReplicaFleet`;
+    otherwise a single in-process engine, exactly as before.
+    """
     server_config = server_config or ServerConfig()
-    engine = InferenceEngine(ModelRegistry(registry_path), engine_config)
-    return InferenceServer((server_config.host, server_config.port), engine)
+    registry = ModelRegistry(registry_path)
+    if fleet_config is not None:
+        from .fleet import ReplicaFleet
+
+        engine = ReplicaFleet(registry, fleet_config)
+    else:
+        engine = InferenceEngine(registry, engine_config)
+    return InferenceServer(
+        (server_config.host, server_config.port),
+        engine,
+        max_body_bytes=server_config.max_body_bytes,
+    )

@@ -61,6 +61,17 @@ def _canonical_json(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+def _tree_bytes(root: Path) -> int:
+    total = 0
+    for path in root.rglob("*"):
+        try:
+            if path.is_file():
+                total += path.stat().st_size
+        except OSError:
+            continue
+    return total
+
+
 @dataclass
 class LoadedModel:
     """A verified, ready-to-serve model resolved from the registry."""
@@ -245,6 +256,62 @@ class ModelRegistry:
             for entry in self.models_dir.iterdir()
             if entry.is_dir() and not entry.name.startswith(".")
         )
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, dry_run: bool = False) -> dict:
+        """Remove artifact directories unreachable from any alias.
+
+        A model is *live* iff some alias (``latest`` or a pinned
+        deployment name) resolves to it — live artifacts are never
+        touched, so an alias flip back to an older model keeps working.
+        Stale ``.staging-*`` directories (a publisher that died mid-stage)
+        are also collected.  Returns a report::
+
+            {"removed": [...], "kept": [...], "staging_removed": int,
+             "reclaimed_bytes": int, "dry_run": bool}
+        """
+        with span("serve.registry_gc"):
+            live = set(self.aliases().values())
+            removed: "list[str]" = []
+            kept: "list[str]" = []
+            staging_removed = 0
+            reclaimed = 0
+            if self.models_dir.is_dir():
+                for entry in sorted(self.models_dir.iterdir()):
+                    if not entry.is_dir():
+                        continue
+                    if entry.name.startswith("."):
+                        reclaimed += _tree_bytes(entry)
+                        if not dry_run:
+                            shutil.rmtree(entry, ignore_errors=True)
+                        staging_removed += 1
+                        continue
+                    if entry.name in live:
+                        kept.append(entry.name)
+                        continue
+                    reclaimed += _tree_bytes(entry)
+                    if not dry_run:
+                        shutil.rmtree(entry)
+                    removed.append(entry.name)
+            if removed or staging_removed:
+                metrics().counter("serve.models_collected").inc(
+                    len(removed) + staging_removed
+                )
+                _log.info(
+                    "%s %d unreferenced models + %d stale staging dirs "
+                    "(%.1f KB)",
+                    "would remove" if dry_run else "removed",
+                    len(removed), staging_removed, reclaimed / 1024,
+                )
+            return {
+                "removed": removed,
+                "kept": kept,
+                "staging_removed": staging_removed,
+                "reclaimed_bytes": reclaimed,
+                "dry_run": dry_run,
+            }
 
     # ------------------------------------------------------------------
     # Load + verify

@@ -124,6 +124,20 @@ def test_format_renders_histogram_quantiles():
     assert "buckets" not in line
 
 
+def test_format_tolerates_bare_scalar_metrics():
+    """Chaos run records store plain counter values, not snapshots."""
+    record = RunRecord(
+        name="chaos",
+        metrics={"fleet.replica_deaths": 1, "fleet.respawns_total": 2},
+        outcome={"status": "ok"},
+    )
+    text = format_run_record(record)
+    line = next(
+        l for l in text.splitlines() if "fleet.replica_deaths" in l
+    )
+    assert line.split()[-1] == "1"
+
+
 def test_format_histogram_empty_skips_quantiles():
     from repro.runtime.telemetry import Histogram
 

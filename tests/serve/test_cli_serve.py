@@ -33,6 +33,32 @@ def test_parser_registers_serving_verbs():
     assert infer.screen is None
 
 
+def test_parser_registers_fleet_and_chaos_flags():
+    parser = build_parser()
+    serve = parser.parse_args(["serve", "--registry", "r"])
+    assert serve.replicas == 1  # single in-process engine by default
+    fleet = parser.parse_args(
+        ["serve", "--registry", "r", "--replicas", "3"]
+    )
+    assert fleet.replicas == 3
+
+    publish = parser.parse_args(["publish", "--registry", "r", "--gc"])
+    assert publish.gc and not publish.gc_dry_run
+
+    infer = parser.parse_args(["infer", "--retry"])
+    assert infer.retry and not infer.chaos
+
+    chaos = parser.parse_args([
+        "infer", "--chaos", "--registry", "r", "--chaos-fault", "slow",
+        "--chaos-replicas", "2", "--chaos-slot", "1",
+    ])
+    assert chaos.chaos
+    assert chaos.registry == "r"
+    assert chaos.chaos_fault == "slow"
+    assert chaos.chaos_replicas == 2
+    assert chaos.chaos_slot == 1
+
+
 def test_registry_flag_is_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["publish"])
@@ -117,6 +143,35 @@ def test_infer_cli_unreachable_server(tmp_path):
         "-q", "infer", "--url", "http://127.0.0.1:1",
         "--requests", "1", "--runs-dir", str(tmp_path),
     ]) == 1
+
+
+def test_infer_chaos_cli(published_registry, tmp_path, capsys):
+    """`repro infer --chaos` self-hosts a fleet, survives a kill -9, and
+    writes a chaos run record."""
+    registry, _ = published_registry
+    runs_dir = tmp_path / "chaos-runs"
+    assert main([
+        "-q", "infer", "--chaos", "--registry", str(registry.root),
+        "--chaos-replicas", "2", "--requests", "24", "--concurrency", "4",
+        "--runs-dir", str(runs_dir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos: ok" in out
+    records = sorted(runs_dir.glob("*-chaos.json"))
+    assert len(records) == 1
+    record = json.loads(records[0].read_text())
+    assert record["outcome"]["status"] == "ok"
+    assert record["outcome"]["load"]["ok"] == 24
+    assert record["outcome"]["recovery"]["recovered"] is True
+    assert record["config"]["fault"] == "kill"
+    assert record["metrics"].get("fleet.replica_deaths", 0) >= 1
+
+
+def test_infer_chaos_requires_registry(tmp_path):
+    assert main([
+        "-q", "infer", "--chaos", "--requests", "4",
+        "--runs-dir", str(tmp_path),
+    ]) == 2
 
 
 def test_serve_cli_subprocess_round_trip(published_registry, tmp_path):

@@ -196,7 +196,10 @@ def test_tampered_registry_maps_to_503(
     assert "checksum mismatch" in payload["error"]["message"]
 
 
-def test_empty_registry_healthz_is_503(tmp_path):
+def test_empty_registry_splits_liveness_from_readiness(tmp_path):
+    """A modelless process is alive (healthz 200) but unready (readyz
+    503) — the split lets orchestrators keep the pod while withholding
+    traffic."""
     server = build_server(
         tmp_path / "empty", EngineConfig(), ServerConfig(port=0)
     )
@@ -207,8 +210,10 @@ def test_empty_registry_healthz_is_503(tmp_path):
         )
         thread.start()
         try:
+            health = fetch_json(server.url, "/healthz")
+            assert health["status"] == "empty"
             with pytest.raises(OSError, match="503"):
-                fetch_json(server.url, "/healthz")
+                fetch_json(server.url, "/readyz")
         finally:
             server.shutdown()
             thread.join()

@@ -125,3 +125,73 @@ def test_label_count_must_match_model(trained_micro_model, tmp_path):
     registry = ModelRegistry(tmp_path)
     with pytest.raises(ValueError, match="labels"):
         registry.publish(trained_micro_model, ("just-one",), NUM_FRAMES)
+
+
+def _publish_three(tmp_path, trained_micro_model):
+    """Three distinct models; ``stable`` pins the first, ``latest`` the
+    third, and the second is reachable by id only."""
+    registry = ModelRegistry(tmp_path)
+    first = registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    second = registry.publish(
+        CNNLSTMClassifier(MICRO_MODEL_CONFIG, np.random.default_rng(7)),
+        ACTIVITY_NAMES, NUM_FRAMES,
+    )
+    third = registry.publish(
+        CNNLSTMClassifier(MICRO_MODEL_CONFIG, np.random.default_rng(8)),
+        ACTIVITY_NAMES, NUM_FRAMES,
+    )
+    registry.set_alias("stable", first)
+    return registry, first, second, third
+
+
+def test_gc_removes_only_alias_unreachable_models(
+    tmp_path, trained_micro_model
+):
+    registry, first, second, third = _publish_three(
+        tmp_path, trained_micro_model
+    )
+    report = registry.gc()
+    assert report["removed"] == [second]
+    assert sorted(report["kept"]) == sorted([first, third])
+    assert report["reclaimed_bytes"] > 0
+    assert report["dry_run"] is False
+    assert sorted(registry.list_models()) == sorted([first, third])
+    # Both alias-reachable models still verify end to end.
+    registry.verify("stable")
+    registry.verify("latest")
+    with pytest.raises(ModelNotFoundError):
+        registry.resolve(second)
+
+
+def test_gc_dry_run_reports_without_deleting(tmp_path, trained_micro_model):
+    registry, first, second, third = _publish_three(
+        tmp_path, trained_micro_model
+    )
+    report = registry.gc(dry_run=True)
+    assert report["removed"] == [second]
+    assert report["dry_run"] is True
+    assert sorted(registry.list_models()) == sorted([first, second, third])
+    registry.verify(second)
+
+
+def test_gc_collects_stale_staging_directories(
+    tmp_path, trained_micro_model
+):
+    registry = ModelRegistry(tmp_path)
+    registry.publish(trained_micro_model, ACTIVITY_NAMES, NUM_FRAMES)
+    stale = registry.models_dir / ".staging-dead"
+    stale.mkdir()
+    (stale / "weights.npz").write_bytes(b"half-written")
+    report = registry.gc()
+    assert report["staging_removed"] == 1
+    assert report["removed"] == []
+    assert not stale.exists()
+
+
+def test_gc_on_empty_registry_is_a_no_op(tmp_path):
+    registry = ModelRegistry(tmp_path / "empty")
+    report = registry.gc()
+    assert report == {
+        "removed": [], "kept": [], "staging_removed": 0,
+        "reclaimed_bytes": 0, "dry_run": False,
+    }

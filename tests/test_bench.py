@@ -45,6 +45,20 @@ def test_speedups_are_positive(tiny_result):
         assert tiny_result["speedup"][key] > 0.0
 
 
+def test_fleet_scaling_block(tiny_result):
+    fleet = tiny_result["fleet"]
+    assert fleet["replicas"] == 3
+    assert fleet["rps_single"] > 0.0 and fleet["rps_fleet"] > 0.0
+    assert fleet["scaling"] == pytest.approx(
+        fleet["rps_fleet"] / fleet["rps_single"]
+    )
+    for stage in ("serve.fleet_single", "serve.fleet"):
+        assert tiny_result["stages"][stage]["requests"] == 24
+    broken = {key: value for key, value in tiny_result.items() if key != "fleet"}
+    with pytest.raises(ValueError, match="fleet"):
+        validate_bench_result(broken)
+
+
 def test_validate_rejects_missing_stage(tiny_result):
     broken = {**tiny_result, "stages": dict(tiny_result["stages"])}
     del broken["stages"]["train.epoch"]
