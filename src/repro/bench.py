@@ -45,6 +45,7 @@ from .radar.processing import (
     range_fft_sequence,
 )
 from .runtime.logging import get_logger
+from .runtime.records import git_revision
 from .runtime.telemetry import telemetry
 from .serve.engine import EngineConfig, InferenceEngine
 from .serve.registry import ModelRegistry
@@ -56,7 +57,15 @@ _log = get_logger("bench")
 #: v2: added the ``serve.engine`` micro-batched serving stage.
 #: v3: added the ``serve.fleet_single``/``serve.fleet`` replica-scaling
 #: stages and the top-level ``fleet`` throughput block.
-BENCH_SCHEMA_VERSION = 3
+#: v4: added the ``meta`` provenance block (git SHA, date, cpu count,
+#: hostname, preset name) labeling dashboard trajectory points.
+BENCH_SCHEMA_VERSION = 4
+
+#: Versions :func:`load_bench_result` accepts; v2/v3 files predate the
+#: ``meta`` block, which the loader synthesizes from what they do carry
+#: (v2 additionally lacks the fleet stages — consumers must treat the
+#: ``fleet`` block and ``serve.fleet*`` stages as optional on load).
+SUPPORTED_BENCH_VERSIONS = (2, 3, BENCH_SCHEMA_VERSION)
 
 #: Requests per fleet-scaling round and the fleet size it is scaled
 #: against.  Scaling is core-bound: with >= 3 cores the fleet's
@@ -136,6 +145,17 @@ def machine_info() -> "dict[str, object]":
     return info
 
 
+def bench_meta(preset_name: str) -> "dict[str, object]":
+    """The v4 provenance block: who/where/when produced this result."""
+    return {
+        "git_sha": git_revision(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+        "preset": preset_name,
+    }
+
+
 def run_bench(preset_name: str = "small") -> "dict[str, object]":
     """Run every benchmark stage for one preset and return the result dict."""
     if preset_name not in BENCH_PRESETS:
@@ -160,6 +180,7 @@ def run_bench(preset_name: str = "small") -> "dict[str, object]":
     result: "dict[str, object]" = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "meta": bench_meta(preset.name),
         "preset": {
             "name": preset.name,
             "num_frames": preset.num_frames,
@@ -407,10 +428,16 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         raise ValueError(
             f"schema_version {result.get('schema_version')!r} != {BENCH_SCHEMA_VERSION}"
         )
-    for key in ("generated_utc", "preset", "machine", "stages", "throughput",
-                "speedup", "fleet"):
+    for key in ("generated_utc", "meta", "preset", "machine", "stages",
+                "throughput", "speedup", "fleet"):
         if key not in result:
             raise ValueError(f"missing top-level key {key!r}")
+    meta = result["meta"]
+    if not isinstance(meta, dict):
+        raise ValueError(f"meta must be an object, got {type(meta).__name__}")
+    for field in ("git_sha", "date", "cpu_count", "hostname", "preset"):
+        if field not in meta:
+            raise ValueError(f"missing meta field {field!r}")
     stages = result["stages"]
     required_stages = (
         "simulator.facet_set",
@@ -448,6 +475,38 @@ def validate_bench_result(result: "dict[str, object]") -> None:
         value = result["fleet"].get(field)
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(f"fleet field {field!r} invalid: {value!r}")
+
+
+def load_bench_result(path: "str | os.PathLike") -> "dict[str, object]":
+    """Read a ``BENCH_*.json`` file, tolerating previous schemas.
+
+    v4 files return as written.  v2/v3 files (pre-``meta``) get a
+    ``meta`` block synthesized from the fields they do carry — git SHA
+    and hostname were not recorded then, so those read ``"unknown"`` —
+    and keep their original ``schema_version`` so callers can tell
+    (and can treat v3's ``fleet`` block as absent on v2).  Other
+    versions are refused.
+    """
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench file {path} is not a JSON object")
+    version = payload.get("schema_version")
+    if version not in SUPPORTED_BENCH_VERSIONS:
+        raise ValueError(
+            f"bench file {path} has schema version {version!r}; "
+            f"supported: {SUPPORTED_BENCH_VERSIONS}"
+        )
+    if version < BENCH_SCHEMA_VERSION and "meta" not in payload:
+        machine = payload.get("machine") or {}
+        preset = payload.get("preset") or {}
+        payload["meta"] = {
+            "git_sha": "unknown",
+            "date": str(payload.get("generated_utc", ""))[:10],
+            "cpu_count": machine.get("cpu_count"),
+            "hostname": "unknown",
+            "preset": preset.get("name"),
+        }
+    return payload
 
 
 def default_output_path(result: "dict[str, object]") -> Path:

@@ -11,10 +11,15 @@ Examples::
     python -m repro publish --registry registry/ --preset fast --detector
     python -m repro serve --registry registry/ --port 8077
     python -m repro infer --url http://127.0.0.1:8077 --requests 50
+    python -m repro dashboard --server-url http://127.0.0.1:8077
 
-The last three verbs are the online-serving stack (model registry +
-micro-batching HTTP server + load-generating client); see
-``repro.serve`` and the README's Serving section.
+``publish``/``serve``/``infer`` are the online-serving stack (model
+registry + micro-batching HTTP server + load-generating client); see
+``repro.serve`` and the README's Serving section.  ``dashboard`` is the
+read-only control plane over everything the other verbs emit — run
+records, BENCH_*.json trajectories, sweep journals, and a live server's
+fleet metrics (see ``repro.dashboard`` and the README's Dashboard
+section).
 
 Each experiment prints the same rows/series the corresponding paper figure
 shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -55,8 +60,10 @@ from .runtime.pool import PoolConfig
 from .runtime.records import (
     RunRecord,
     default_runs_dir,
+    format_run_listing,
     format_run_record,
     latest_run_record_path,
+    list_run_records,
     load_run_record,
     write_run_record,
 )
@@ -70,6 +77,7 @@ from .bench import (
     write_bench_result,
 )
 
+from .dashboard.cli import add_dashboard_arguments, run_dashboard
 from .serve.cli import add_serve_arguments, run_infer, run_publish, run_serve
 
 from .datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
@@ -223,10 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
                      "or REPRO_RUNS_DIR)")
 
     stats = subparsers.add_parser(
-        "stats", help="pretty-print the most recent run record"
+        "stats", help="pretty-print the most recent run record "
+        "(or --list the runs directory)"
     )
     stats.add_argument("--runs-dir", metavar="DIR", default=None,
                        help="directory holding run records")
+    stats.add_argument("--list", action="store_true", dest="list_records",
+                       help="list run records instead of printing the latest")
+    stats.add_argument("--last", type=int, default=None, metavar="N",
+                       help="with --list: only the newest N records")
+    stats.add_argument("--status", default=None, metavar="S",
+                       help="with --list: only records with this outcome "
+                       "status (ok, failed, degraded, interrupted, ...)")
+    stats.add_argument("--name", default=None, metavar="GLOB",
+                       help="with --list: only records whose experiment "
+                       "name matches this shell glob")
 
     bench = subparsers.add_parser(
         "bench", help="run the performance benchmark suite"
@@ -242,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     add_serve_arguments(subparsers)
+    add_dashboard_arguments(subparsers)
     return parser
 
 
@@ -367,8 +387,24 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "infer":
         return run_infer(args, log)
 
+    if args.command == "dashboard":
+        return run_dashboard(args, log)
+
     if args.command == "stats":
         directory = Path(args.runs_dir) if args.runs_dir else None
+        if args.list_records:
+            rows = list_run_records(
+                directory, name=args.name, status=args.status, last=args.last
+            )
+            print(format_run_listing(rows))
+            return 0 if rows else 1
+        for flag, value in (
+            ("--last", args.last),
+            ("--status", args.status),
+            ("--name", args.name),
+        ):
+            if value is not None:
+                log.warning("%s only applies with --list; ignoring", flag)
         path = latest_run_record_path(directory)
         if path is None:
             log.error("no run records found")

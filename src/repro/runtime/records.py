@@ -12,6 +12,7 @@ cache uses, so an interrupted run never leaves a truncated record.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import os
 import subprocess
@@ -106,6 +107,88 @@ def latest_run_record_path(directory: "Path | None" = None) -> "Path | None":
         return None
     candidates = sorted(directory.glob("*.json"))
     return candidates[-1] if candidates else None
+
+
+def record_status(outcome: dict) -> str:
+    """One-word status of a record's outcome (``ok``/``degraded``/...)."""
+    if not outcome:
+        return "unknown"
+    status = outcome.get("status")
+    if status is None:
+        status = "ok" if outcome.get("ok") else "failed"
+    return str(status)
+
+
+def summarize_run_record(path: "str | os.PathLike") -> "dict | None":
+    """One listing row for a record file; None when it is unreadable.
+
+    Listing must survive a runs dir containing torn or foreign JSON —
+    a single bad file must not take down ``repro stats --list`` or the
+    dashboard index.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return {
+        "path": str(path),
+        "file": Path(path).name,
+        "name": str(payload.get("name", "?")),
+        "timestamp": str(payload.get("timestamp", "")),
+        "status": record_status(payload.get("outcome") or {}),
+        "git_revision": str(payload.get("git_revision", "")),
+        "schema_version": payload.get("schema_version"),
+    }
+
+
+def list_run_records(
+    directory: "Path | None" = None,
+    name: "str | None" = None,
+    status: "str | None" = None,
+    last: "int | None" = None,
+) -> "list[dict]":
+    """Summaries of the runs dir, oldest first.
+
+    ``name`` is a shell glob against the record's experiment name,
+    ``status`` an exact (case-insensitive) match on the outcome status,
+    and ``last`` keeps only the newest N rows after filtering.
+    """
+    directory = Path(directory) if directory is not None else default_runs_dir()
+    if not directory.is_dir():
+        return []
+    rows = []
+    for path in sorted(directory.glob("*.json")):
+        summary = summarize_run_record(path)
+        if summary is None:
+            continue
+        if name is not None and not fnmatch.fnmatch(summary["name"], name):
+            continue
+        if status is not None and summary["status"].lower() != status.lower():
+            continue
+        rows.append(summary)
+    if last is not None and last >= 0:
+        rows = rows[-last:] if last else []
+    return rows
+
+
+def format_run_listing(rows: "list[dict]") -> str:
+    """Tabular rendering of :func:`list_run_records` for ``repro stats``."""
+    if not rows:
+        return "no run records found"
+    name_width = max(len(row["name"]) for row in rows)
+    lines = [
+        f"{'TIMESTAMP':<16} {'NAME':<{name_width}} {'STATUS':<9} "
+        f"{'GIT':<10} FILE"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['timestamp']:<16} {row['name']:<{name_width}} "
+            f"{row['status']:<9} {row['git_revision']:<10} {row['file']}"
+        )
+    return "\n".join(lines)
 
 
 def format_run_record(record: RunRecord) -> str:

@@ -150,6 +150,16 @@ class Counter:
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self._value}
 
+    def merge(self, snap: dict) -> None:
+        """Fold another counter's snapshot in (values add)."""
+        if snap.get("type") != "counter":
+            raise TypeError(
+                f"cannot merge {snap.get('type')!r} snapshot into counter "
+                f"{self.name!r}"
+            )
+        with self._lock:
+            self._value += snap.get("value", 0)
+
 
 class Gauge:
     """Last-value-wins instrument (rates, norms, sizes)."""
@@ -171,6 +181,20 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"type": "gauge", "value": self._value}
+
+    def merge(self, snap: dict) -> None:
+        """Fold another gauge's snapshot in (last merged value wins).
+
+        Gauges are point-in-time readings, so there is no meaningful sum
+        across processes; the merged view keeps the most recently merged
+        reading, matching the instrument's own last-write-wins contract.
+        """
+        if snap.get("type") != "gauge":
+            raise TypeError(
+                f"cannot merge {snap.get('type')!r} snapshot into gauge "
+                f"{self.name!r}"
+            )
+        self.set(snap.get("value", 0.0))
 
 
 #: Default histogram bucket upper bounds (seconds-ish scale, but the
@@ -227,6 +251,37 @@ class Histogram:
             "mean": self.mean,
             "buckets": dict(zip(labels, self._counts)),
         }
+
+    def merge(self, snap: dict) -> None:
+        """Fold another histogram's snapshot in (bucket counts add).
+
+        Both histograms must share the exact bucket boundaries — merging
+        observations across different boundary sets would silently
+        misbucket, so a mismatch raises ``ValueError`` instead.
+        """
+        if snap.get("type") != "histogram":
+            raise TypeError(
+                f"cannot merge {snap.get('type')!r} snapshot into histogram "
+                f"{self.name!r}"
+            )
+        theirs = snap.get("buckets", {})
+        # Label-keyed, so a JSON round-trip that reordered the bucket dict
+        # (e.g. ``sort_keys=True`` sorting "10.0" before "2.5") still merges
+        # each bound into its own slot.
+        their_bounds = tuple(
+            sorted(float(label) for label in theirs if label != "inf")
+        )
+        if their_bounds != self.buckets or "inf" not in theirs:
+            raise ValueError(
+                f"histogram {self.name!r} bucket boundaries {self.buckets} "
+                f"do not match incoming {their_bounds}"
+            )
+        labels = [str(b) for b in self.buckets] + ["inf"]
+        with self._lock:
+            for index, label in enumerate(labels):
+                self._counts[index] += int(theirs[label])
+            self._sum += float(snap.get("sum", 0.0))
+            self._count += int(snap.get("count", 0))
 
 
 def quantile_from_buckets(snapshot: dict, q: float) -> float:
@@ -304,6 +359,44 @@ class MetricsRegistry:
         with self._lock:
             instruments = dict(self._instruments)
         return {name: instruments[name].snapshot() for name in sorted(instruments)}
+
+    def merge_snapshot(self, snapshot: "dict[str, dict]") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how the replica fleet aggregates worker-process metrics:
+        each replica ships its registry snapshot over the heartbeat pipe
+        and the parent merges them into a fleet-wide view.  Counters and
+        histogram buckets add (so merging is commutative and the merged
+        totals equal the per-replica sums), gauges keep the last merged
+        reading.  A name registered here with a different instrument type
+        raises ``TypeError``; mismatched histogram boundaries raise
+        ``ValueError``.  Merging an empty snapshot is a no-op.
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            kind = snap.get("type") if isinstance(snap, dict) else None
+            if kind == "counter":
+                self.counter(name).merge(snap)
+            elif kind == "gauge":
+                self.gauge(name).merge(snap)
+            elif kind == "histogram":
+                bounds = tuple(
+                    sorted(
+                        float(label)
+                        for label in snap.get("buckets", {})
+                        if label != "inf"
+                    )
+                )
+                if not bounds:
+                    raise ValueError(
+                        f"histogram snapshot {name!r} has no finite buckets"
+                    )
+                self.histogram(name, bounds).merge(snap)
+            else:
+                raise ValueError(
+                    f"snapshot entry {name!r} has unknown instrument "
+                    f"type {kind!r}"
+                )
 
     def export_jsonl(self, path: "str | os.PathLike") -> Path:
         """One JSON object per line per instrument, atomically written."""

@@ -22,6 +22,10 @@ The serving stack has six layers, each usable on its own:
     A stdlib client (with Retry-After-honoring idempotent retries) plus
     a small concurrent load generator reporting p50/p95/p99 latency,
     throughput, and retry counts.
+``repro.serve.trace``
+    Request identity: ``X-Repro-Request-Id`` minting/propagation, the
+    JSONL access log (one line per response with per-stage span
+    timings), and a Chrome-trace exporter over it.
 ``repro.serve.chaos``
     The fault-drill harness: kill -9 / hang / slow a replica under
     load and assert the fleet's recovery SLO.
@@ -39,8 +43,17 @@ from .engine import EngineConfig, InferenceEngine, Prediction
 from .fleet import FleetConfig, ReplicaFleet, ReplicaState
 from .http import InferenceServer, ServerConfig, build_server
 from .registry import LoadedModel, ModelRegistry, REGISTRY_SCHEMA_VERSION
+from .trace import (
+    REQUEST_ID_HEADER,
+    AccessLog,
+    export_chrome_trace_from_access_log,
+    new_request_id,
+    normalize_request_id,
+    read_access_log,
+)
 
 __all__ = [
+    "AccessLog",
     "ChaosPlan",
     "DEFAULT_RETRY_POLICY",
     "EngineConfig",
@@ -51,14 +64,19 @@ __all__ = [
     "ModelRegistry",
     "Prediction",
     "REGISTRY_SCHEMA_VERSION",
+    "REQUEST_ID_HEADER",
     "ReplicaFleet",
     "ReplicaState",
     "ServerConfig",
     "assert_recovery",
     "build_server",
+    "export_chrome_trace_from_access_log",
     "fetch_json",
+    "new_request_id",
+    "normalize_request_id",
     "predict",
     "predict_with_retry",
+    "read_access_log",
     "run_chaos",
     "run_load",
 ]

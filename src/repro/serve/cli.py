@@ -94,6 +94,10 @@ def add_serve_arguments(subparsers) -> None:
                        help="engine replicas; >1 runs a supervised "
                        "crash-isolated worker fleet with health-checked "
                        "routing, respawn, and hot reload")
+    serve.add_argument("--access-log", metavar="PATH", default=None,
+                       help="write one JSONL access-log line per response "
+                       "(request id, status, latency, replica, batch size, "
+                       "per-stage spans)")
 
     infer = subparsers.add_parser(
         "infer", help="send predictions to a running server (load generator)"
@@ -226,7 +230,8 @@ def run_serve(args: argparse.Namespace, log) -> int:
 
         fleet_config = FleetConfig(replicas=args.replicas, engine=engine_config)
     server = build_server(
-        args.registry, engine_config, ServerConfig(args.host, args.port),
+        args.registry, engine_config,
+        ServerConfig(args.host, args.port, access_log_path=args.access_log),
         fleet_config,
     )
 

@@ -41,17 +41,25 @@ DEFAULT_RETRY_POLICY = RetryPolicy(
 
 
 def _request(
-    url: str, body: "bytes | None" = None, timeout_s: float = 30.0
+    url: str,
+    body: "bytes | None" = None,
+    timeout_s: float = 30.0,
+    request_id: "str | None" = None,
 ) -> "tuple[int, dict, dict]":
     """One HTTP exchange -> ``(status, parsed JSON, headers)``.
 
     Error statuses (4xx/5xx) are returned, not raised — the load
     generator counts them; only transport failures raise ``OSError``.
+    ``request_id`` is sent as ``X-Repro-Request-Id`` so server-side
+    access-log lines correlate with the caller's own ids.
     """
+    headers = {"Content-Type": "application/json"} if body else {}
+    if request_id:
+        headers["X-Repro-Request-Id"] = request_id
     request = urllib.request.Request(
         url,
         data=body,
-        headers={"Content-Type": "application/json"} if body else {},
+        headers=headers,
         method="POST" if body is not None else "GET",
     )
     try:
@@ -93,6 +101,7 @@ def predict(
     screen: "bool | None" = None,
     deadline_ms: "float | None" = None,
     timeout_s: float = 30.0,
+    request_id: "str | None" = None,
 ) -> "tuple[int, dict]":
     """POST one sequence to ``/v1/predict`` -> ``(status, payload)``."""
     body: dict = {
@@ -103,11 +112,13 @@ def predict(
         body["screen"] = screen
     if deadline_ms is not None:
         body["deadline_ms"] = deadline_ms
-    return _request_json(
+    status, payload, _ = _request(
         base_url.rstrip("/") + "/v1/predict",
         json.dumps(body).encode(),
         timeout_s=timeout_s,
+        request_id=request_id,
     )
+    return status, payload
 
 
 def _retry_after_s(headers: dict) -> "float | None":
@@ -131,6 +142,7 @@ def predict_with_retry(
     policy: "RetryPolicy | None" = None,
     seed: int = 0,
     sleep=time.sleep,
+    request_id: "str | None" = None,
 ) -> "tuple[int, dict, int]":
     """Predict with retries -> ``(status, payload, retries_used)``.
 
@@ -141,7 +153,10 @@ def predict_with_retry(
     else the policy's seeded-jitter exponential delay.  Non-retryable
     statuses (200, 400, 404, 504, ...) return immediately; when the
     budget runs out the last shed status is returned, and a final
-    transport error is re-raised.
+    transport error is re-raised.  Every attempt sends the same
+    ``request_id`` header, so one logical request's shed-then-recovered
+    attempts share an id in the server's access log (one log line per
+    attempt — each attempt is its own HTTP response).
     """
     policy = policy or DEFAULT_RETRY_POLICY
     body: dict = {
@@ -158,7 +173,9 @@ def predict_with_retry(
     while True:
         hinted = None
         try:
-            status, payload, headers = _request(url, encoded, timeout_s)
+            status, payload, headers = _request(
+                url, encoded, timeout_s, request_id=request_id
+            )
             if status not in RETRYABLE_STATUSES:
                 return status, payload, attempt - 1
             hinted = _retry_after_s(headers)

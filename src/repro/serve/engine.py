@@ -37,7 +37,7 @@ import numpy as np
 from ..models.cnn_lstm import softmax
 from ..runtime.errors import DeadlineExceededError, OverloadError, ServeError
 from ..runtime.logging import get_logger
-from ..runtime.telemetry import metrics, span
+from ..runtime.telemetry import metrics, span, telemetry
 from .registry import LoadedModel, ModelRegistry
 
 _log = get_logger("serve.engine")
@@ -115,6 +115,15 @@ class Prediction:
     batch_size: int
     queue_ms: float
     infer_ms: float
+    #: Request id from the envelope (None when the caller sent none).
+    request_id: "str | None" = None
+    #: Fleet slot that served this request (0 for the in-process engine;
+    #: the fleet router overwrites it with the real slot).
+    replica: int = 0
+    #: Per-stage span timeline in ms (``batch_wait``/``predict``/
+    #: ``fanout`` from the engine; the fleet adds ``dispatch`` and the
+    #: HTTP layer adds ``enqueue``).
+    spans_ms: "dict[str, float]" = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -124,9 +133,15 @@ class Prediction:
             "probabilities": self.probabilities,
             "screening": self.screening,
             "batch_size": self.batch_size,
+            "request_id": self.request_id,
+            "replica": self.replica,
             "timing_ms": {
                 "queue": round(self.queue_ms, 3),
                 "infer": round(self.infer_ms, 3),
+            },
+            "spans_ms": {
+                stage: round(duration, 3)
+                for stage, duration in self.spans_ms.items()
             },
         }
 
@@ -136,7 +151,7 @@ class _Pending:
 
     __slots__ = (
         "sequence", "model_id", "screen", "enqueued_ns", "deadline_ns",
-        "event", "result", "error",
+        "event", "result", "error", "request_id",
     )
 
     def __init__(
@@ -145,12 +160,14 @@ class _Pending:
         model_id: str,
         screen: bool,
         deadline_ns: "int | None",
+        request_id: "str | None" = None,
     ):
         self.sequence = sequence
         self.model_id = model_id
         self.screen = screen
         self.enqueued_ns = time.perf_counter_ns()
         self.deadline_ns = deadline_ns
+        self.request_id = request_id
         self.event = threading.Event()
         self.result: "Prediction | None" = None
         self.error: "Exception | None" = None
@@ -291,8 +308,13 @@ class InferenceEngine:
         model: str = "latest",
         screen: "bool | None" = None,
         deadline_s: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> Prediction:
         """Classify one heatmap sequence; blocks until a result or error.
+
+        ``request_id`` is the tracing envelope id (minted at the HTTP
+        front door); it rides through the batch and comes back on the
+        :class:`Prediction` so responses and access-log lines correlate.
 
         Raises ``ValueError`` on a shape mismatch, ``ModelNotFoundError``
         for an unknown ref, :class:`OverloadError` when the queue is full,
@@ -320,7 +342,9 @@ class InferenceEngine:
                 raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
             timeout_s = deadline_s
             deadline_ns = time.perf_counter_ns() + int(deadline_s * 1e9)
-        pending = _Pending(sequence, model_id, bool(screen), deadline_ns)
+        pending = _Pending(
+            sequence, model_id, bool(screen), deadline_ns, request_id
+        )
         with self._wakeup:
             if len(self._queue) >= self.config.queue_capacity:
                 metrics().counter("serve.load_shed_total").inc()
@@ -443,6 +467,16 @@ class InferenceEngine:
             queue_ms = (done_ns - pending.enqueued_ns) / 1e6 - infer_ms
             latency_histogram.observe((done_ns - pending.enqueued_ns) / 1e9)
             metrics().counter("serve.predictions_total").inc()
+            batch_wait_ms = max((start_ns - pending.enqueued_ns) / 1e6, 0.0)
+            fanout_ms = max((time.perf_counter_ns() - done_ns) / 1e6, 0.0)
+            telemetry().record_span(
+                "serve.request",
+                pending.enqueued_ns,
+                time.perf_counter_ns(),
+                request_id=pending.request_id,
+                model=loaded.model_id,
+                batch_size=len(live),
+            )
             pending.finish(
                 Prediction(
                     model_id=loaded.model_id,
@@ -453,6 +487,12 @@ class InferenceEngine:
                     batch_size=len(live),
                     queue_ms=max(queue_ms, 0.0),
                     infer_ms=infer_ms,
+                    request_id=pending.request_id,
+                    spans_ms={
+                        "batch_wait": batch_wait_ms,
+                        "predict": infer_ms,
+                        "fanout": fanout_ms,
+                    },
                 ),
                 None,
             )

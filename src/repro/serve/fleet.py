@@ -71,7 +71,7 @@ from ..runtime.errors import (
     ServeError,
 )
 from ..runtime.logging import get_logger
-from ..runtime.telemetry import metrics, span
+from ..runtime.telemetry import MetricsRegistry, metrics, span
 from .engine import SERVE_LATENCY_BUCKETS, EngineConfig, InferenceEngine, Prediction
 from .registry import ModelRegistry
 
@@ -207,11 +207,14 @@ def _replica_main(
     """Worker loop: one micro-batching engine served over a pipe.
 
     Messages in: ``("predict", req_id, sequence, model_id, screen,
-    deadline_s)``, ``("ping", seq)``, ``("warm", ref)``,
+    deadline_s, request_id)``, ``("ping", seq)``, ``("warm", ref)``,
     ``("fault", kind, arg)`` (chaos injection), ``None`` (stop).
     Messages out: ``("started", warmed_id)``, ``("result", req_id, ok,
-    prediction, error_type, error_msg)``, ``("pong", seq, stats)``,
-    ``("warmed", model_id)`` / ``("warm_failed", ref, reason)``.
+    prediction, error_type, error_msg)``, ``("pong", seq, stats)`` —
+    where ``stats`` piggybacks this process's full ``MetricsRegistry``
+    snapshot, the transport that lets the parent aggregate worker-side
+    engine histograms — ``("warmed", model_id)`` /
+    ``("warm_failed", ref, reason)``.
     """
     # Replicas must not inherit the parent's terminal signal handling:
     # drain is coordinated by the supervisor, not per-child signals.
@@ -220,6 +223,10 @@ def _replica_main(
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    # Under the fork start method the child inherits the parent's global
+    # registry state; reset so merged fleet metrics never double-count
+    # parent-side observations.
+    metrics().reset()
     registry = ModelRegistry(registry_root)
     engine = InferenceEngine(registry, engine_config).start()
     send_lock = threading.Lock()
@@ -244,12 +251,15 @@ def _replica_main(
     # growth well above the router's per-replica in-flight cap.
     limiter = threading.Semaphore(4 * 64)
 
-    def _predict(req_id, sequence, model_id, screen, deadline_s) -> None:
+    def _predict(
+        req_id, sequence, model_id, screen, deadline_s, request_id=None
+    ) -> None:
         try:
             if faults["slow_ms"] > 0.0:
                 time.sleep(faults["slow_ms"] / 1e3)
             prediction = engine.submit(
-                sequence, model=model_id, screen=screen, deadline_s=deadline_s
+                sequence, model=model_id, screen=screen,
+                deadline_s=deadline_s, request_id=request_id,
             )
             _send(("result", req_id, True, prediction, None, None))
         except BaseException as exc:  # noqa: BLE001 - process boundary
@@ -271,7 +281,13 @@ def _replica_main(
                 target=_predict, args=message[1:], daemon=True
             ).start()
         elif kind == "ping":
-            _send(("pong", message[1], {"queue_depth": engine.queue_depth()}))
+            # Piggyback a full metrics snapshot on each pong: this is the
+            # only channel worker-side engine histograms have to reach the
+            # parent's fleet-wide ``GET /metrics`` merge.
+            _send(("pong", message[1], {
+                "queue_depth": engine.queue_depth(),
+                "metrics": metrics().snapshot(),
+            }))
         elif kind == "warm":
             ref = message[1]
             try:
@@ -348,6 +364,9 @@ class _Replica:
         self.window: "deque[tuple[bool, float]]" = deque(maxlen=window)
         self.warmed_models: "set[str]" = set()
         self.receiver: "threading.Thread | None" = None
+        #: Last metrics snapshot piggybacked on a pong (None until the
+        #: first heartbeat round-trips).
+        self.metrics_snapshot: "dict | None" = None
 
     @property
     def pid(self) -> "int | None":
@@ -425,6 +444,11 @@ class ReplicaFleet:
         self._alias_pin: "dict[str, str]" = {}
         self._reload_target: "str | None" = None
         self._last_reload_check = 0.0
+        # Accumulated metrics of replicas that died: their final pong
+        # snapshot is folded in here so fleet totals survive respawns
+        # (a respawned replica restarts its counters from zero).
+        self._retired_metrics = MetricsRegistry()
+        self._retired_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -580,8 +604,14 @@ class ReplicaFleet:
         model: str = "latest",
         screen: "bool | None" = None,
         deadline_s: "float | None" = None,
+        request_id: "str | None" = None,
     ) -> Prediction:
         """Route one request to the least-loaded READY replica.
+
+        ``request_id`` rides the pipe envelope into the chosen replica's
+        engine and returns on the :class:`Prediction`, which also gains
+        the serving slot and a ``dispatch`` span (routing + pipe
+        round-trip overhead on top of the engine's own stages).
 
         Raises ``ValueError`` on shape mismatches,
         :class:`DrainingError` while draining, :class:`CircuitOpenError`
@@ -612,7 +642,8 @@ class ReplicaFleet:
         start = time.monotonic()
         try:
             replica.send(
-                ("predict", req_id, sequence, model_id, screen, deadline_s)
+                ("predict", req_id, sequence, model_id, screen, deadline_s,
+                 request_id)
             )
         except (OSError, BrokenPipeError, ValueError):
             with replica.lock:
@@ -643,7 +674,11 @@ class ReplicaFleet:
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None
-        return pending.result
+        prediction = pending.result
+        prediction.replica = replica.slot
+        engine_ms = sum(prediction.spans_ms.values())
+        prediction.spans_ms["dispatch"] = max(elapsed * 1e3 - engine_ms, 0.0)
+        return prediction
 
     # -- routing -------------------------------------------------------
     def _live_replicas(self) -> "list[_Replica]":
@@ -836,6 +871,10 @@ class ReplicaFleet:
             elif kind == "pong":
                 replica.pings_unanswered = 0
                 replica.last_pong = time.monotonic()
+                stats = message[2] if len(message) > 2 else {}
+                snapshot = stats.get("metrics") if isinstance(stats, dict) else None
+                if snapshot is not None:
+                    replica.metrics_snapshot = snapshot
             elif kind == "started":
                 warmed = message[1]
                 if warmed:
@@ -873,6 +912,7 @@ class ReplicaFleet:
             "replica %d (pid %s) dead: %s", replica.slot, replica.pid, reason
         )
         metrics().counter("fleet.replica_deaths").inc()
+        self._retire_metrics(replica)
         self._set_state(replica, ReplicaState.DEAD)
         try:
             if replica.process.is_alive():
@@ -1078,6 +1118,56 @@ class ReplicaFleet:
         except (OSError, BrokenPipeError, ValueError):
             return False
         return True
+
+    def _retire_metrics(self, replica: "_Replica") -> None:
+        """Fold a dead replica's last snapshot into the retired ledger.
+
+        The snapshot is at most one heartbeat interval stale, so up to
+        ~``heartbeat_interval_s`` of final observations are lost with the
+        process — an accepted undercount, never an overcount.
+        """
+        snapshot = replica.metrics_snapshot
+        if not snapshot:
+            return
+        replica.metrics_snapshot = None
+        try:
+            with self._retired_lock:
+                self._retired_metrics.merge_snapshot(snapshot)
+        except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+            _log.warning(
+                "discarding unmergeable metrics from dead replica %d: %s",
+                replica.slot, exc,
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide metrics: the merged view plus a per-replica breakdown.
+
+        ``merged`` sums live replicas' latest pong snapshots with the
+        retired ledger of dead generations; ``per_replica`` keys live
+        slots (plus ``"retired"`` when any replica has died) to their raw
+        snapshots.  The HTTP layer folds ``merged`` into its own
+        registry snapshot for ``GET /metrics``.
+        """
+        merged = MetricsRegistry()
+        per_replica: "dict[str, dict]" = {}
+        with self._retired_lock:
+            retired = self._retired_metrics.snapshot()
+        if retired:
+            merged.merge_snapshot(retired)
+            per_replica["retired"] = retired
+        for replica in self._live_replicas():
+            snapshot = replica.metrics_snapshot
+            if not snapshot:
+                continue
+            per_replica[str(replica.slot)] = snapshot
+            try:
+                merged.merge_snapshot(snapshot)
+            except (TypeError, ValueError) as exc:  # pragma: no cover
+                _log.warning(
+                    "skipping unmergeable metrics from replica %d: %s",
+                    replica.slot, exc,
+                )
+        return {"merged": merged.snapshot(), "per_replica": per_replica}
 
     def describe(self) -> dict:
         """Fleet-level health summary (the ``/readyz`` payload core)."""

@@ -18,7 +18,18 @@ dependencies) exposing:
     in-process engine or a :class:`~repro.serve.fleet.ReplicaFleet`.
 ``GET /metrics``
     The process metrics snapshot as JSON (counters, gauges, and the
-    ``serve.*``/``fleet.*`` latency/batch-size histograms).
+    ``serve.*``/``fleet.*`` latency/batch-size histograms).  When a
+    :class:`~repro.serve.fleet.ReplicaFleet` is behind the front door,
+    the snapshot is the *fleet-wide merge*: parent-side counters folded
+    with every replica's heartbeat-piggybacked registry (plus a retired
+    ledger for dead generations), with the raw per-replica snapshots
+    under a ``fleet.per_replica`` breakdown key.
+
+Every response — success, error, ``/healthz``, ``/readyz`` — carries an
+``X-Repro-Request-Id`` header (the inbound one when the client sent it,
+else freshly minted) and, when an access log is configured, writes
+exactly one JSONL access-log line keyed by that id with per-stage span
+timings.
 
 Failures map to typed JSON errors, never stack traces: malformed
 requests are 400, oversized bodies 413, unknown models 404, a full
@@ -49,9 +60,15 @@ from ..runtime.errors import (
     ReproError,
 )
 from ..runtime.logging import get_logger
-from ..runtime.telemetry import metrics
+from ..runtime.telemetry import MetricsRegistry, metrics
 from .engine import EngineConfig, InferenceEngine
 from .registry import ModelRegistry
+from .trace import (
+    REQUEST_ID_HEADER,
+    AccessLog,
+    new_request_id,
+    normalize_request_id,
+)
 
 _log = get_logger("serve.http")
 
@@ -100,6 +117,8 @@ class ServerConfig:
     port: int = 8077
     #: Bodies above this are rejected with 413 before parsing.
     max_body_bytes: int = MAX_BODY_BYTES
+    #: JSONL access log destination (None disables access logging).
+    access_log_path: "str | None" = None
 
 
 class InferenceServer(ThreadingHTTPServer):
@@ -118,11 +137,15 @@ class InferenceServer(ThreadingHTTPServer):
         address: "tuple[str, int]",
         engine: InferenceEngine,
         max_body_bytes: int = MAX_BODY_BYTES,
+        access_log_path: "str | None" = None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
         self.max_body_bytes = max_body_bytes
         self.started_at = time.time()
+        self.access_log = (
+            AccessLog(access_log_path) if access_log_path else None
+        )
 
     @property
     def port(self) -> int:
@@ -140,6 +163,8 @@ class InferenceServer(ThreadingHTTPServer):
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown_engine()
         self.server_close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def shutdown_engine(self) -> None:
         self.engine.stop()
@@ -164,19 +189,61 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         _log.debug("%s %s", self.address_string(), format % args)
 
+    def _begin_request(self) -> None:
+        """Mint/honor the request id and start the latency clock."""
+        self._rid = normalize_request_id(self.headers.get(REQUEST_ID_HEADER))
+        self._started_ns = time.perf_counter_ns()
+        self._trace: "dict | None" = None
+
     def _send_json(
         self, status: int, payload: dict, retry_after: "str | None" = None
     ) -> None:
+        """The single response choke point: every response passes through
+        here, so every response gets the request-id header and exactly
+        one access-log line."""
+        rid = getattr(self, "_rid", None)
+        if rid is None:
+            rid = self._rid = new_request_id()
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header(REQUEST_ID_HEADER, rid)
         if retry_after is None:
             retry_after = _retry_after(status, None)
         if retry_after is not None:
             self.send_header("Retry-After", retry_after)
         self.end_headers()
         self.wfile.write(body)
+        self._log_access(status, payload, retry_after)
+
+    def _log_access(
+        self, status: int, payload: dict, retry_after: "str | None"
+    ) -> None:
+        access_log = self.server.access_log
+        if access_log is None:
+            return
+        started_ns = getattr(self, "_started_ns", None)
+        entry: dict = {
+            "id": self._rid,
+            "ts": time.time(),
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "latency_ms": (
+                round((time.perf_counter_ns() - started_ns) / 1e6, 3)
+                if started_ns is not None else None
+            ),
+        }
+        trace = getattr(self, "_trace", None)
+        if trace:
+            entry.update(trace)
+        error = payload.get("error") if isinstance(payload, dict) else None
+        if isinstance(error, dict):
+            entry["error"] = error.get("type")
+        if retry_after is not None:
+            entry["retry_after"] = retry_after
+        access_log.log(entry)
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0))
@@ -191,13 +258,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._begin_request()
         try:
             if self.path == "/healthz":
                 self._send_json(*self._healthz())
             elif self.path == "/readyz":
                 self._send_json(*self._readyz())
             elif self.path == "/metrics":
-                self._send_json(200, metrics().snapshot())
+                self._send_json(200, self._metrics())
             else:
                 self._send_json(404, {
                     "error": {"type": "NotFound", "message": self.path}
@@ -207,6 +275,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(status, payload, _retry_after(status, exc))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._begin_request()
         if self.path != "/v1/predict":
             self._send_json(404, {
                 "error": {"type": "NotFound", "message": self.path}
@@ -214,7 +283,10 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._parse_predict_body()
-            prediction = self.server.engine.submit(**payload)
+            enqueue_ms = (time.perf_counter_ns() - self._started_ns) / 1e6
+            prediction = self.server.engine.submit(
+                request_id=self._rid, **payload
+            )
         except _PayloadTooLarge as exc:
             self._send_json(413, {
                 "error": {"type": "PayloadTooLarge", "message": str(exc)}
@@ -229,6 +301,18 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = _error_payload(exc)
             self._send_json(status, payload, _retry_after(status, exc))
             return
+        # The front door owns the ``enqueue`` stage (read/parse/validate);
+        # the engine/fleet filled in the downstream stages.
+        prediction.spans_ms["enqueue"] = enqueue_ms
+        self._trace = {
+            "model": prediction.model_id,
+            "replica": prediction.replica,
+            "batch_size": prediction.batch_size,
+            "spans_ms": {
+                stage: round(duration, 3)
+                for stage, duration in prediction.spans_ms.items()
+            },
+        }
         self._send_json(200, prediction.to_json())
 
     # -- request/response shaping --------------------------------------
@@ -265,6 +349,35 @@ class _Handler(BaseHTTPRequestHandler):
             "screen": screen,
             "deadline_s": deadline_s,
         }
+
+    def _metrics(self) -> dict:
+        """The ``GET /metrics`` payload: flat name -> snapshot map.
+
+        Single-engine mode serves the process registry directly.  Fleet
+        mode merges the parent registry with every replica's
+        heartbeat-piggybacked snapshot (plus the retired ledger), keeping
+        the same flat top level — existing consumers see fleet-wide
+        totals under the same keys — and adds a ``fleet.per_replica``
+        breakdown entry.
+        """
+        snapshot = metrics().snapshot()
+        fleet_metrics = getattr(self.server.engine, "metrics_snapshot", None)
+        if fleet_metrics is None:
+            return snapshot
+        fleet_view = fleet_metrics()
+        merged = MetricsRegistry()
+        merged.merge_snapshot(snapshot)
+        try:
+            merged.merge_snapshot(fleet_view["merged"])
+        except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+            _log.warning("fleet metrics merge failed: %s", exc)
+            return snapshot
+        combined = merged.snapshot()
+        combined["fleet.per_replica"] = {
+            "type": "breakdown",
+            "replicas": fleet_view["per_replica"],
+        }
+        return combined
 
     def _healthz(self) -> "tuple[int, dict]":
         """Pure liveness: 200 whenever the process can answer at all.
@@ -338,4 +451,5 @@ def build_server(
         (server_config.host, server_config.port),
         engine,
         max_body_bytes=server_config.max_body_bytes,
+        access_log_path=server_config.access_log_path,
     )

@@ -1,0 +1,158 @@
+"""Merge semantics of counters/gauges/histograms and the registry.
+
+The replica fleet relies on these invariants to aggregate worker-process
+metrics into the fleet-wide ``GET /metrics`` view: merged totals must
+equal per-replica sums (commutatively), mismatched histogram boundaries
+must be rejected rather than misbucketed, and quantile estimation must
+keep working on merged buckets.
+"""
+
+import pytest
+
+from repro.runtime.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+BUCKETS = (0.01, 0.1, 1.0)
+
+
+def _registry_a() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(5)
+    registry.gauge("depth").set(3.0)
+    histogram = registry.histogram("latency", BUCKETS)
+    for value in (0.005, 0.05, 0.5, 2.0):
+        histogram.observe(value)
+    return registry
+
+def _registry_b() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(7)
+    registry.counter("only_b").inc(1)
+    registry.gauge("depth").set(9.0)
+    histogram = registry.histogram("latency", BUCKETS)
+    for value in (0.05, 0.05, 0.09):
+        histogram.observe(value)
+    return registry
+
+
+def test_counter_merge_adds_values():
+    counter = Counter("c")
+    counter.inc(3)
+    counter.merge({"type": "counter", "value": 4})
+    assert counter.value == 7
+
+
+def test_counter_merge_rejects_other_types():
+    with pytest.raises(TypeError, match="cannot merge"):
+        Counter("c").merge({"type": "gauge", "value": 1.0})
+
+
+def test_gauge_merge_is_last_write_wins():
+    gauge = Gauge("g")
+    gauge.set(2.0)
+    gauge.merge({"type": "gauge", "value": 5.0})
+    assert gauge.value == 5.0
+
+
+def test_histogram_merge_adds_buckets_and_moments():
+    ours = Histogram("h", BUCKETS)
+    theirs = Histogram("h", BUCKETS)
+    for value in (0.005, 0.5):
+        ours.observe(value)
+    for value in (0.05, 5.0):
+        theirs.observe(value)
+    ours.merge(theirs.snapshot())
+    snap = ours.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(5.555)
+    assert snap["buckets"] == {"0.01": 1, "0.1": 1, "1.0": 1, "inf": 1}
+
+
+def test_histogram_merge_rejects_boundary_mismatch():
+    ours = Histogram("h", BUCKETS)
+    theirs = Histogram("h", (0.01, 0.2, 1.0))
+    with pytest.raises(ValueError, match="bucket boundaries"):
+        ours.merge(theirs.snapshot())
+    # The rejected merge must not have half-applied anything.
+    assert ours.count == 0
+
+
+def test_histogram_merge_tolerates_reordered_bucket_labels():
+    """A JSON round-trip with sort_keys reorders labels lexically
+    ("10.0" < "2.5"); merging must still be label-keyed, not positional."""
+    ours = Histogram("h", (2.5, 10.0))
+    ours.observe(3.0)
+    snap = {
+        "type": "histogram",
+        "count": 1,
+        "sum": 11.0,
+        "buckets": {"10.0": 1, "2.5": 0, "inf": 0},
+    }
+    ours.merge(snap)
+    # The incoming "10.0" count must land in the 10.0 slot (alongside our
+    # own 3.0 observation), not positionally in the first (2.5) slot.
+    assert ours.snapshot()["buckets"] == {"2.5": 0, "10.0": 2, "inf": 0}
+
+
+def test_registry_merge_is_commutative():
+    ab = _registry_a()
+    ab.merge_snapshot(_registry_b().snapshot())
+    ba = _registry_b()
+    ba.merge_snapshot(_registry_a().snapshot())
+    left, right = ab.snapshot(), ba.snapshot()
+    assert set(left) == set(right)
+    assert left["requests"]["value"] == right["requests"]["value"] == 12
+    assert left["only_b"]["value"] == 1
+    assert left["latency"]["count"] == right["latency"]["count"] == 7
+    assert left["latency"]["buckets"] == right["latency"]["buckets"]
+    assert left["latency"]["sum"] == pytest.approx(right["latency"]["sum"])
+    # Gauges are last-write-wins, the one instrument where order shows.
+    assert left["depth"]["value"] == 9.0
+    assert right["depth"]["value"] == 3.0
+
+
+def test_merged_totals_equal_per_replica_sums():
+    merged = MetricsRegistry()
+    replicas = [_registry_a(), _registry_b()]
+    for replica in replicas:
+        merged.merge_snapshot(replica.snapshot())
+    total = sum(r.snapshot()["latency"]["count"] for r in replicas)
+    assert merged.snapshot()["latency"]["count"] == total
+
+
+def test_quantile_from_merged_buckets():
+    merged = MetricsRegistry()
+    merged.merge_snapshot(_registry_a().snapshot())
+    merged.merge_snapshot(_registry_b().snapshot())
+    snap = merged.snapshot()["latency"]
+    # 7 observations: 1 <= 0.01, 4 in (0.01, 0.1], 1 in (0.1, 1], 1 above.
+    p50 = quantile_from_buckets(snap, 0.5)
+    assert 0.01 < p50 <= 0.1
+    # Ranks landing in the overflow bucket report the last finite bound.
+    assert quantile_from_buckets(snap, 0.99) == pytest.approx(1.0)
+    assert quantile_from_buckets(snap, 0.0) == 0.0
+
+
+def test_empty_registry_merges():
+    empty_into_full = _registry_a()
+    before = empty_into_full.snapshot()
+    empty_into_full.merge_snapshot(MetricsRegistry().snapshot())
+    assert empty_into_full.snapshot() == before
+
+    full_into_empty = MetricsRegistry()
+    full_into_empty.merge_snapshot(before)
+    assert full_into_empty.snapshot() == before
+
+
+def test_registry_merge_rejects_type_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("name").inc()
+    with pytest.raises(TypeError):
+        registry.merge_snapshot({"name": {"type": "gauge", "value": 1.0}})
+    with pytest.raises(ValueError, match="unknown instrument"):
+        registry.merge_snapshot({"other": {"type": "mystery"}})

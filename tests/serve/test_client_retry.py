@@ -24,7 +24,7 @@ def _scripted(responses):
     """A fake ``_request`` yielding canned (status, payload, headers)."""
     calls = []
 
-    def fake(url, body=None, timeout_s=30.0):
+    def fake(url, body=None, timeout_s=30.0, request_id=None):
         index = min(len(calls), len(responses) - 1)
         calls.append(url)
         response = responses[index]

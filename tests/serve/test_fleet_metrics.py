@@ -1,0 +1,107 @@
+"""Fleet-wide metrics aggregation over the heartbeat pipe.
+
+The acceptance contract: with a multi-replica fleet under load,
+``GET /metrics`` on the front door reports merged worker-side engine
+histograms whose total observation count equals the sum of the
+per-replica counts — i.e. engine metrics survive worker isolation.
+"""
+
+import threading
+
+from repro.serve import ReplicaFleet, ServerConfig, build_server
+from repro.serve.client import fetch_json, run_load
+
+from .test_fleet import fast_config, wait_for
+
+
+def _merged_predictions(fleet) -> int:
+    view = fleet.metrics_snapshot()
+    counter = view["merged"].get("serve.predictions_total")
+    return int(counter["value"]) if counter else 0
+
+
+def test_fleet_merges_replica_engine_metrics(published_registry, micro_dataset):
+    registry, _ = published_registry
+    with ReplicaFleet(registry, fast_config(2)) as fleet:
+        fleet.wait_until_ready(2, 30.0)
+        total = 8
+        for index in range(total):
+            fleet.submit(micro_dataset.x[index % len(micro_dataset.x)])
+        # Snapshots ride the next heartbeat pong; wait for them to land.
+        assert wait_for(lambda: _merged_predictions(fleet) == total)
+        view = fleet.metrics_snapshot()
+        replicas = {
+            slot: snap for slot, snap in view["per_replica"].items()
+            if slot != "retired"
+        }
+        assert len(replicas) == 2
+        per_replica_total = sum(
+            snap.get("serve.predictions_total", {}).get("value", 0)
+            for snap in replicas.values()
+        )
+        assert per_replica_total == total
+        merged_latency = view["merged"]["serve.request_latency_s"]
+        assert merged_latency["type"] == "histogram"
+        assert merged_latency["count"] == sum(
+            snap.get("serve.request_latency_s", {}).get("count", 0)
+            for snap in replicas.values()
+        )
+
+
+def test_retired_ledger_survives_replica_death(published_registry, micro_dataset):
+    registry, _ = published_registry
+    with ReplicaFleet(registry, fast_config(1)) as fleet:
+        fleet.wait_until_ready(1, 30.0)
+        fleet.submit(micro_dataset.x[0])
+        assert wait_for(lambda: _merged_predictions(fleet) == 1)
+        assert fleet.kill_replica(0) is not None
+        # The death fold moves the last pong snapshot into the retired
+        # ledger; fleet totals must not reset with the process.
+        assert wait_for(
+            lambda: "retired" in fleet.metrics_snapshot()["per_replica"]
+        )
+        assert _merged_predictions(fleet) == 1
+
+
+def test_http_metrics_reports_fleet_merge(published_registry, micro_dataset):
+    registry, _ = published_registry
+    server = build_server(
+        registry.root, None, ServerConfig(port=0), fast_config(3)
+    )
+    with server:
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            server.engine.wait_until_ready(3, 30.0)
+            summary = run_load(
+                server.url, micro_dataset.x[:4], requests=24, concurrency=6
+            )
+            assert summary["ok"] == 24
+
+            def merged_count() -> int:
+                payload = fetch_json(server.url, "/metrics")
+                counter = payload.get("serve.predictions_total")
+                return int(counter["value"]) if counter else 0
+
+            assert wait_for(lambda: merged_count() == 24)
+            payload = fetch_json(server.url, "/metrics")
+            # Same flat top level as single-engine mode, fleet-wide totals.
+            assert payload["serve.batch_size"]["type"] == "histogram"
+            assert payload["serve.request_latency_s"]["count"] == 24
+            breakdown = payload["fleet.per_replica"]
+            assert breakdown["type"] == "breakdown"
+            per_replica = [
+                snap.get("serve.request_latency_s", {}).get("count", 0)
+                for slot, snap in breakdown["replicas"].items()
+                if slot != "retired"
+            ]
+            assert sum(per_replica) == 24
+            # Parent-side fleet instruments merge in alongside.
+            assert payload["fleet.requests_total"]["value"] >= 24
+        finally:
+            server.shutdown()
+            thread.join()

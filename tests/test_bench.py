@@ -9,6 +9,7 @@ from repro.bench import (
     BENCH_SCHEMA_VERSION,
     default_output_path,
     format_bench_result,
+    load_bench_result,
     run_bench,
     validate_bench_result,
     write_bench_result,
@@ -38,6 +39,53 @@ def test_tiny_result_passes_schema(tiny_result):
     assert tiny_result["preset"]["name"] == "tiny"
     # The span breakdown must include the batched simulator path.
     assert "simulate.sequence" in tiny_result["spans"]
+
+
+def test_meta_block_labels_the_result(tiny_result):
+    meta = tiny_result["meta"]
+    assert meta["preset"] == "tiny"
+    assert meta["cpu_count"] >= 1
+    assert len(meta["date"]) == 10  # YYYY-MM-DD
+    assert meta["git_sha"] and meta["hostname"]
+    broken = {k: v for k, v in tiny_result.items() if k != "meta"}
+    with pytest.raises(ValueError, match="meta"):
+        validate_bench_result(broken)
+    with pytest.raises(ValueError, match="git_sha"):
+        validate_bench_result({**tiny_result, "meta": {}})
+
+
+def test_loader_accepts_current_and_legacy_files(tiny_result, tmp_path):
+    current = tmp_path / "v4.json"
+    write_bench_result(tiny_result, current)
+    assert load_bench_result(current)["meta"] == tiny_result["meta"]
+
+    legacy = {k: v for k, v in tiny_result.items() if k != "meta"}
+    legacy["schema_version"] = 3
+    v3_path = tmp_path / "v3.json"
+    v3_path.write_text(json.dumps(legacy))
+    loaded = load_bench_result(v3_path)
+    # The loader synthesizes meta from what v3 files do carry.
+    assert loaded["schema_version"] == 3
+    assert loaded["meta"]["preset"] == "tiny"
+    assert loaded["meta"]["git_sha"] == "unknown"
+    assert loaded["meta"]["date"] == tiny_result["generated_utc"][:10]
+    assert loaded["meta"]["cpu_count"] == tiny_result["machine"]["cpu_count"]
+
+    # v2 (pre-fleet, pre-meta) also loads — the repo's committed
+    # BENCH_2026-08-05.json is one — with the same synthesized meta.
+    v2 = {k: v for k, v in legacy.items() if k != "fleet"}
+    v2["schema_version"] = 2
+    v2_path = tmp_path / "v2.json"
+    v2_path.write_text(json.dumps(v2))
+    loaded_v2 = load_bench_result(v2_path)
+    assert loaded_v2["schema_version"] == 2
+    assert loaded_v2["meta"]["git_sha"] == "unknown"
+    assert "fleet" not in loaded_v2
+
+    v1_path = tmp_path / "v1.json"
+    v1_path.write_text(json.dumps({**v2, "schema_version": 1}))
+    with pytest.raises(ValueError, match="schema version"):
+        load_bench_result(v1_path)
 
 
 def test_speedups_are_positive(tiny_result):
