@@ -123,6 +123,38 @@ def candidate_positions(
     return np.stack(positions), names
 
 
+#: Cap on the synthesized trigger-cube bytes held live per scoring batch;
+#: candidates are sliced so ``C_batch * sizeof(sequence cube)`` stays
+#: under it (the default preset's 32-frame cube is ~1 MB/frame, so the
+#: full ~22-candidate set fits in one batch at micro/test sizes while
+#: paper-scale sequences still get sliced).
+BATCH_CUBE_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def _score_from_trigger_cubes(
+    trigger_cubes,
+    surrogate,
+    base_cubes,
+    clean_heatmaps,
+    clean_features,
+    heatmap_config,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Eq. 2 terms from one candidate's synthesized trigger contribution.
+
+    DRAI regeneration stays per-candidate: background clutter removal
+    subtracts a sequence-long mean, so heatmaps (and hence features) are
+    only well-defined over one candidate's ``T``-frame sequence at a time.
+    """
+    num_frames = len(base_cubes)
+    poisoned = drai_sequence(base_cubes + trigger_cubes, heatmap_config)
+    poisoned_features = surrogate.frame_features(poisoned)[0]
+    d_feat = np.linalg.norm(poisoned_features - clean_features, axis=1)
+    d_heat = np.linalg.norm(
+        (poisoned - clean_heatmaps).reshape(num_frames, -1), axis=1
+    )
+    return d_feat, d_heat
+
+
 def _score_candidate(
     simulator,
     surrogate,
@@ -137,9 +169,9 @@ def _score_candidate(
     """Eq. 2 terms for one candidate: (feature distance, heatmap deviation).
 
     Pure function of its arguments (no RNG), so scoring a candidate in a
-    pool worker is bit-identical to scoring it in-process.
+    pool worker is bit-identical to scoring it in-process.  Kept as the
+    pinned one-candidate reference for :func:`_score_candidates_batched`.
     """
-    num_frames = len(base_cubes)
     trigger_local = trigger.mesh_at(position)
     # Static rigid trigger, shared topology across frames: one batched
     # sequence synthesis instead of a per-frame loop.
@@ -147,13 +179,67 @@ def _score_candidate(
         [trigger_local.transformed(tr) for tr in transforms],
         estimate_velocities=False,
     )
-    poisoned = drai_sequence(base_cubes + trigger_cubes, heatmap_config)
-    poisoned_features = surrogate.frame_features(poisoned)[0]
-    d_feat = np.linalg.norm(poisoned_features - clean_features, axis=1)
-    d_heat = np.linalg.norm(
-        (poisoned - clean_heatmaps).reshape(num_frames, -1), axis=1
+    return _score_from_trigger_cubes(
+        trigger_cubes, surrogate,
+        base_cubes, clean_heatmaps, clean_features, heatmap_config,
     )
-    return d_feat, d_heat
+
+
+def _score_candidates_batched(
+    simulator,
+    surrogate,
+    trigger,
+    positions,
+    transforms,
+    base_cubes,
+    clean_heatmaps,
+    clean_features,
+    heatmap_config,
+    max_batch_bytes: int = BATCH_CUBE_BUDGET_BYTES,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Score many candidates with one stacked synthesis per batch.
+
+    Every candidate is the same trigger mesh translated to a different
+    attachment point, riding the same per-frame torso transforms — so all
+    ``C x T`` posed meshes share topology and one ``simulate_sequence``
+    call covers them.  The batched simulator kernel computes each frame
+    from its own contiguous facet rows (per-row phase terms, one GEMM per
+    frame), so concatenating candidates along the frame axis is
+    bit-identical to synthesizing each candidate's ``T`` frames alone.
+    Velocity estimation is off (static rigid trigger), which also removes
+    the only cross-frame operation.
+
+    Only synthesis is batched; DRAI and feature extraction remain
+    per-candidate (see :func:`_score_from_trigger_cubes`).  Candidate
+    slices are bounded by ``max_batch_bytes`` of synthesized cube.
+    """
+    num_frames = len(base_cubes)
+    per_candidate_bytes = max(1, int(np.asarray(base_cubes).nbytes))
+    per_batch = max(1, int(max_batch_bytes // per_candidate_bytes))
+    scores: "list[tuple[np.ndarray, np.ndarray]]" = []
+    for start in range(0, len(positions), per_batch):
+        chunk = positions[start:start + per_batch]
+        posed = [
+            trigger.mesh_at(position).transformed(tr)
+            for position in chunk
+            for tr in transforms
+        ]
+        with span(
+            "attack.placement.synthesize_batch",
+            candidates=len(chunk), frames=num_frames,
+        ):
+            stacked = simulator.simulate_sequence(
+                posed, estimate_velocities=False
+            )
+        cubes = stacked.reshape(len(chunk), num_frames, *stacked.shape[1:])
+        for index in range(len(chunk)):
+            scores.append(
+                _score_from_trigger_cubes(
+                    cubes[index], surrogate,
+                    base_cubes, clean_heatmaps, clean_features, heatmap_config,
+                )
+            )
+    return scores
 
 
 def _score_candidate_chunk(
@@ -168,13 +254,10 @@ def _score_candidate_chunk(
     heatmap_config,
 ) -> "list[tuple[np.ndarray, np.ndarray]]":
     """Pool worker entry point: score a contiguous chunk of candidates."""
-    return [
-        _score_candidate(
-            simulator, surrogate, trigger, position, transforms,
-            base_cubes, clean_heatmaps, clean_features, heatmap_config,
-        )
-        for position in positions
-    ]
+    return _score_candidates_batched(
+        simulator, surrogate, trigger, positions, transforms,
+        base_cubes, clean_heatmaps, clean_features, heatmap_config,
+    )
 
 
 class TriggerPlacementOptimizer:
@@ -261,15 +344,10 @@ class TriggerPlacementOptimizer:
     def _score_serial(
         self, simulator, candidates, names, shared
     ) -> "list[tuple[np.ndarray, np.ndarray]]":
-        scores = []
-        for c_index, position in enumerate(candidates):
-            with span("attack.placement.candidate", candidate=names[c_index]):
-                scores.append(
-                    _score_candidate(
-                        simulator, self.surrogate, self.trigger, position, *shared
-                    )
-                )
-        return scores
+        with span("attack.placement.candidates", candidates=len(candidates)):
+            return _score_candidates_batched(
+                simulator, self.surrogate, self.trigger, candidates, *shared
+            )
 
     def _score_pooled(
         self, simulator, candidates, shared, workers, pool_config

@@ -1,0 +1,164 @@
+"""Atomic, schema-versioned campaign records.
+
+One JSON file per campaign run, written with the same write-then-rename
+pattern run records use, aggregating every cell's terminal outcome plus
+a provenance meta block (git SHA, config digest, cpu count, hostname —
+the BENCH v4 pattern).  Records carry ``"kind": "campaign"`` so the
+shared runs directory can hold run records and campaign records side by
+side: ``repro stats --list --campaign`` and the dashboard's
+``/api/campaigns`` filter on that marker instead of skipping the files
+as foreign JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..runtime.records import default_runs_dir, git_revision
+from ..runtime.telemetry import write_text_atomic
+
+#: Bump when the record layout changes; other versions are refused.
+CAMPAIGN_RECORD_SCHEMA_VERSION = 1
+
+
+def campaign_meta() -> dict:
+    """Provenance block stamped into every campaign record."""
+    return {
+        "git_sha": git_revision(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+        "python": platform.python_version(),
+    }
+
+
+@dataclass
+class CampaignRecord:
+    """Everything worth keeping about one campaign run."""
+
+    name: str
+    config: dict = field(default_factory=dict)
+    config_digest: str = ""
+    cells: "list[dict]" = field(default_factory=list)
+    outcome: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=campaign_meta)
+    spans: dict = field(default_factory=dict)
+    timestamp: str = ""
+    git_revision: str = ""
+    kind: str = "campaign"
+    schema_version: int = CAMPAIGN_RECORD_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.timestamp:
+            self.timestamp = time.strftime("%Y%m%dT%H%M%S")
+        if not self.git_revision:
+            self.git_revision = self.meta.get("git_sha") or git_revision()
+
+
+def write_campaign_record(
+    record: CampaignRecord, directory: "Path | None" = None
+) -> Path:
+    """Atomically persist ``record``; returns the path written."""
+    directory = Path(directory) if directory is not None else default_runs_dir()
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in record.name)
+    path = directory / f"{record.timestamp}-campaign-{safe}.json"
+    counter = 1
+    while path.exists():
+        path = directory / f"{record.timestamp}-campaign-{safe}.{counter}.json"
+        counter += 1
+    payload = json.dumps(asdict(record), indent=2, sort_keys=True, default=str)
+    return write_text_atomic(path, payload + "\n")
+
+
+def load_campaign_record(path: "str | os.PathLike") -> CampaignRecord:
+    """Read a record written by :func:`write_campaign_record`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("kind") != "campaign":
+        raise ValueError(f"{path} is not a campaign record")
+    version = payload.get("schema_version")
+    if version != CAMPAIGN_RECORD_SCHEMA_VERSION:
+        raise ValueError(
+            f"campaign record {path} has schema version {version!r}, "
+            f"expected {CAMPAIGN_RECORD_SCHEMA_VERSION}"
+        )
+    known = set(CampaignRecord.__dataclass_fields__)
+    return CampaignRecord(
+        **{k: v for k, v in payload.items() if k in known}
+    )
+
+
+def list_campaign_records(
+    directory: "Path | None" = None, last: "int | None" = None
+) -> "list[dict]":
+    """Campaign-record summaries in the runs dir, oldest first."""
+    from ..runtime.records import list_run_records
+
+    return list_run_records(directory, kind="campaign", last=last)
+
+
+def latest_campaign_record_path(
+    directory: "Path | None" = None,
+) -> "Path | None":
+    rows = list_campaign_records(directory)
+    return Path(rows[-1]["path"]) if rows else None
+
+
+def format_campaign_record(record: CampaignRecord) -> str:
+    """Human-readable rendering with a per-cell matrix table."""
+    outcome = record.outcome or {}
+    lines = [
+        f"campaign record: {record.name}",
+        f"  timestamp     {record.timestamp}",
+        f"  git           {record.git_revision}",
+        f"  config digest {record.config_digest[:12]}",
+        f"  status        {outcome.get('status', 'unknown')}"
+        + (
+            f" ({outcome.get('cells_done', 0)}/{outcome.get('cells_total', 0)}"
+            " cells done)"
+            if "cells_total" in outcome else ""
+        ),
+    ]
+    if record.cells:
+        lines.append("  cells:")
+        header = (
+            f"    {'KEY':<28} {'EXPERIMENT':<10} {'PRESET':<8} "
+            f"{'SEED':>10} {'STATUS':<8} {'WALL':>8}  METRICS"
+        )
+        lines.append(header)
+        for cell in record.cells:
+            lines.append(
+                f"    {cell.get('key', '?'):<28} "
+                f"{cell.get('experiment', '?'):<10} "
+                f"{cell.get('preset', '?'):<8} "
+                f"{cell.get('seed', 0):>10} "
+                f"{cell.get('status', '?'):<8} "
+                f"{cell.get('wall_time_s', 0.0):>7.2f}s  "
+                f"{_headline(cell)}"
+            )
+    return "\n".join(lines)
+
+
+def _headline(cell: dict) -> str:
+    """A one-glance metric summary for the cell table."""
+    if cell.get("status") == "failed":
+        return str(cell.get("error") or "failed")
+    metrics = cell.get("metrics") or {}
+    for key in ("accuracy", "asr_without_defense", "asr_after"):
+        if key in metrics:
+            return f"{key}={metrics[key]:.3f}"
+    if "curves" in metrics:
+        labels = ", ".join(sorted(metrics["curves"]))
+        return f"curves: {labels}"
+    if "num_virtual_antennas" in metrics:
+        measured = cell.get("measured") or {}
+        value = measured.get("seconds_per_activity")
+        timing = f" {value:.3f}s/activity" if value is not None else ""
+        return f"antennas={metrics['num_virtual_antennas']}{timing}"
+    keys = ", ".join(sorted(metrics)) or "-"
+    return keys

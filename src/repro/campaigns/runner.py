@@ -1,0 +1,501 @@
+"""Campaign execution: grid cells -> pool tasks -> journal -> record.
+
+``CampaignRunner`` expands a validated config into
+:class:`~repro.campaigns.config.CampaignCell` tasks, runs them over the
+supervised worker pool (``workers=1`` degrades to the serial in-process
+path), checkpoints every terminal outcome in the fsynced sweep journal —
+so a SIGKILL mid-campaign loses at most the in-flight cells and
+``--resume`` skips finished ones — and aggregates everything into one
+atomic campaign record.
+
+Cells return *metrics*, not formatted text: :func:`cell_payload` maps
+each runner's result dataclass to a JSON-able dict split into
+deterministic ``metrics`` (accuracy, ASR/UASR/CDR curves, defense
+verdicts — bit-reproducible functions of the seed) and wall-clock
+``measured`` values (throughput timings), so campaign cells can be
+pinned bit-identical against the hand-written runners.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..datasets.activities import DISSIMILAR_SCENARIOS, SIMILAR_SCENARIOS
+from ..eval.experiments import (
+    AblationResult,
+    CleanPrototypeResult,
+    DefenseResult,
+    ExperimentContext,
+    FrameImportanceExperimentResult,
+    RobustnessResult,
+    SpectralDefenseResult,
+    StealthResult,
+    SweepResult,
+    ThroughputResult,
+    run_ablation,
+    run_angle_robustness,
+    run_clean_prototype,
+    run_defenses,
+    run_distance_robustness,
+    run_frame_importance,
+    run_heatmap_stealth,
+    run_injection_rate_sweep,
+    run_poisoned_frames_sweep,
+    run_simulator_throughput,
+    run_spectral_defense,
+    run_trigger_size_frames_sweep,
+    run_trigger_size_injection_sweep,
+)
+from ..runtime.journal import SweepJournal
+from ..runtime.logging import get_logger
+from ..runtime.pool import PoolConfig, PoolTask, TaskResult, run_tasks
+from ..runtime.records import default_runs_dir
+from ..runtime.telemetry import metrics, span, telemetry
+from .config import (
+    CampaignCell,
+    CampaignConfig,
+    config_digest,
+    expand_cells,
+    journal_fingerprint,
+)
+from .records import CampaignRecord, write_campaign_record
+
+_log = get_logger("campaigns.runner")
+
+#: experiment id -> raw runner (result dataclass, not formatted text).
+#: Same ids as the CLI's EXPERIMENTS table; campaigns consume metrics.
+CELL_RUNNERS: "dict[str, Callable[[ExperimentContext], Any]]" = {
+    "fig3": run_frame_importance,
+    "fig5": run_heatmap_stealth,
+    "fig7": run_clean_prototype,
+    "fig8": lambda ctx: run_injection_rate_sweep(ctx, SIMILAR_SCENARIOS),
+    "fig9": lambda ctx: run_poisoned_frames_sweep(ctx, SIMILAR_SCENARIOS),
+    "fig10": lambda ctx: run_injection_rate_sweep(ctx, DISSIMILAR_SCENARIOS),
+    "fig11": lambda ctx: run_poisoned_frames_sweep(ctx, DISSIMILAR_SCENARIOS),
+    "fig12": run_trigger_size_injection_sweep,
+    "fig13": run_trigger_size_frames_sweep,
+    "fig14": run_angle_robustness,
+    "fig15": run_distance_robustness,
+    "table1": run_ablation,
+    "sec6d": run_simulator_throughput,
+    "sec7": run_defenses,
+    "spectral": run_spectral_defense,
+}
+
+
+def _listed(value) -> object:
+    """NumPy arrays/scalars -> plain JSON-able Python values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def cell_payload(result: Any) -> "dict[str, dict]":
+    """``{"metrics": ..., "measured": ...}`` for one runner result.
+
+    ``metrics`` holds the deterministic outputs (pure functions of the
+    seed — what equivalence pins compare); ``measured`` holds wall-clock
+    quantities that legitimately differ between runs of the same seed.
+    """
+    if isinstance(result, ThroughputResult):
+        return {
+            "metrics": {
+                "num_virtual_antennas": result.num_virtual_antennas,
+                "num_frames": result.num_frames,
+            },
+            "measured": {
+                "seconds_per_pair_activity": result.seconds_per_pair_activity,
+                "seconds_per_activity": result.seconds_per_activity,
+            },
+        }
+    if isinstance(result, CleanPrototypeResult):
+        return {
+            "metrics": {
+                "accuracy": _listed(result.accuracy),
+                "confusion": _listed(result.confusion),
+                "history_epochs": result.history_epochs,
+            },
+            "measured": {},
+        }
+    if isinstance(result, FrameImportanceExperimentResult):
+        return {
+            "metrics": {
+                "histogram": _listed(result.histogram),
+                "mean_importance": _listed(result.mean_importance),
+                "num_samples": result.num_samples,
+            },
+            "measured": {},
+        }
+    if isinstance(result, StealthResult):
+        return {
+            "metrics": {
+                "deviation": {k: _listed(v) for k, v in result.deviation.items()}
+            },
+            "measured": {},
+        }
+    if isinstance(result, SweepResult):
+        return {
+            "metrics": {
+                "parameter_name": result.parameter_name,
+                "parameter_values": _listed(list(result.parameter_values)),
+                "curves": {
+                    label: [point.as_dict() for point in points]
+                    for label, points in result.curves.items()
+                },
+            },
+            "measured": {},
+        }
+    if isinstance(result, RobustnessResult):
+        return {
+            "metrics": {
+                "parameter_name": result.parameter_name,
+                "parameter_values": _listed(list(result.parameter_values)),
+                "seen_mask": list(result.seen_mask),
+                "asr": _listed(list(result.asr)),
+                "uasr": _listed(list(result.uasr)),
+            },
+            "measured": {},
+        }
+    if isinstance(result, AblationResult):
+        return {
+            "metrics": {
+                "rows": [[name, _listed(value)] for name, value in result.rows]
+            },
+            "measured": {},
+        }
+    if isinstance(result, DefenseResult):
+        return {
+            "metrics": {
+                "detector": dataclasses.asdict(result.detector_report),
+                "asr_without_defense": _listed(result.asr_without_defense),
+                "asr_with_augmentation": _listed(result.asr_with_augmentation),
+                "cdr_with_augmentation": _listed(result.cdr_with_augmentation),
+            },
+            "measured": {},
+        }
+    if isinstance(result, SpectralDefenseResult):
+        return {
+            "metrics": {
+                key: _listed(value)
+                for key, value in dataclasses.asdict(result).items()
+            },
+            "measured": {},
+        }
+    # Stubbed runners in tests may return plain dicts already in shape.
+    if isinstance(result, dict) and set(result) >= {"metrics"}:
+        return {
+            "metrics": dict(result["metrics"]),
+            "measured": dict(result.get("measured", {})),
+        }
+    raise TypeError(
+        f"no campaign payload mapping for {type(result).__name__}"
+    )
+
+
+def _campaign_cell_task(
+    experiment: str,
+    preset_name: str,
+    seed: int,
+    overrides: "tuple[tuple[str, object], ...]",
+    use_disk_cache: bool,
+) -> dict:
+    """Pool-worker entry point: run one cell in a fresh context.
+
+    Module-level and picklable; workers rebuild their own
+    :class:`ExperimentContext` with ``workers=1`` so a pooled campaign
+    never nests a second pool inside a cell.  The resolved preset (base
+    preset + overrides) matches :meth:`CampaignCell.resolved_preset`, so
+    a cell is bit-identical to the equivalent hand-written invocation.
+    """
+    cell = CampaignCell(
+        index=0, experiment=experiment, preset=preset_name, seed=seed,
+        overrides=overrides,
+    )
+    context = ExperimentContext(
+        cell.resolved_preset(), seed=seed,
+        use_disk_cache=use_disk_cache, workers=1,
+    )
+    with span("campaign.cell", experiment=experiment, seed=seed):
+        result = CELL_RUNNERS[experiment](context)
+    return cell_payload(result)
+
+
+@dataclass
+class CellResult:
+    """Terminal outcome of one campaign cell."""
+
+    key: str
+    index: int
+    experiment: str
+    preset: str
+    seed: int
+    status: str  # done | failed | skipped
+    metrics: dict = field(default_factory=dict)
+    measured: dict = field(default_factory=dict)
+    overrides: dict = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    attempts: int = 0
+    error: "str | None" = None
+    resumed: bool = False
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class CampaignOutcome:
+    """What one ``CampaignRunner.run`` produced."""
+
+    record: CampaignRecord
+    record_path: Path
+    results: "list[CellResult]"
+    journal_path: Path
+    interrupted: bool = False
+    stopped_early: bool = False
+
+    @property
+    def counts(self) -> "dict[str, int]":
+        counts = {"done": 0, "failed": 0, "skipped": 0}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    @property
+    def all_ok(self) -> bool:
+        return all(result.status == "done" for result in self.results)
+
+
+class CampaignRunner:
+    """Executes one campaign config end to end.
+
+    ``run(resume=True)`` replays journaled cells instead of re-running
+    them; the journal header carries the config digest, so resuming with
+    an edited config refuses instead of mixing incompatible results.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        journal_path: "str | Path | None" = None,
+        runs_dir: "str | Path | None" = None,
+        workers: int = 1,
+        pool_config: "PoolConfig | None" = None,
+    ):
+        self.config = config
+        self.runs_dir = Path(runs_dir) if runs_dir else default_runs_dir()
+        self.journal_path = (
+            Path(journal_path) if journal_path
+            else self.runs_dir / f"campaign-{config.name}.jsonl"
+        )
+        self.workers = max(1, int(workers))
+        self.pool_config = pool_config
+
+    def run(self, resume: bool = False) -> CampaignOutcome:
+        cells = expand_cells(self.config)
+        digest = config_digest(self.config)
+        journal = SweepJournal.open(
+            self.journal_path, journal_fingerprint(self.config), resume=resume
+        )
+        started = time.time()
+        with span("campaign.run", campaign=self.config.name, cells=len(cells)):
+            with journal:
+                results, interrupted, stopped = self._execute(cells, journal)
+        results.sort(key=lambda result: result.index)
+
+        outcome_status = self._status(results, interrupted, stopped)
+        record = CampaignRecord(
+            name=self.config.name,
+            config=self.config.canonical_dict(),
+            config_digest=digest,
+            cells=[result.as_dict() for result in results],
+            outcome={
+                "status": outcome_status,
+                "cells_total": len(cells),
+                **{f"cells_{k}": v for k, v in _count(results).items()},
+                "wall_time_s": time.time() - started,
+            },
+            spans=telemetry().aggregate(),
+        )
+        path = write_campaign_record(record, self.runs_dir)
+        _log.info(
+            "campaign %s: %s (%d cells) record=%s",
+            self.config.name, outcome_status, len(cells), path,
+        )
+        return CampaignOutcome(
+            record=record,
+            record_path=path,
+            results=results,
+            journal_path=self.journal_path,
+            interrupted=interrupted,
+            stopped_early=stopped,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, cells: "list[CampaignCell]", journal: SweepJournal
+    ) -> "tuple[list[CellResult], bool, bool]":
+        completed = journal.completed_keys()
+        results: "list[CellResult]" = []
+        pending: "list[CampaignCell]" = []
+        for cell in cells:
+            entry = journal.entry(cell.key)
+            if cell.key in completed and entry is not None:
+                payload = entry.get("payload") or {}
+                results.append(self._from_journal(cell, entry, payload))
+                metrics().counter("campaign.cells_resumed").inc()
+            else:
+                pending.append(cell)
+        if results:
+            _log.info(
+                "campaign %s: %d/%d cells resumed from journal",
+                self.config.name, len(results), len(cells),
+            )
+
+        max_failures = self.config.stop.max_failures
+        failures = sum(1 for r in results if r.status == "failed")
+        interrupted = False
+        stopped = False
+        index = 0
+        # Dispatch in pool-sized waves so stop criteria apply between
+        # waves without needing mid-flight cancellation support.
+        wave = max(1, self.workers) * 2
+        try:
+            while index < len(pending):
+                if max_failures is not None and failures >= max_failures:
+                    stopped = True
+                    break
+                batch = pending[index:index + wave]
+                index += len(batch)
+                for task_result in self._run_batch(batch):
+                    cell = next(
+                        c for c in batch if c.key == task_result.key
+                    )
+                    result = self._from_task(cell, task_result)
+                    journal.record(
+                        result.key,
+                        "done" if result.status == "done" else "failed",
+                        payload={
+                            "cell": cell.spec(),
+                            "metrics": result.metrics,
+                            "measured": result.measured,
+                            "error": result.error,
+                        },
+                        attempts=result.attempts,
+                        wall_time_s=result.wall_time_s,
+                    )
+                    results.append(result)
+                    if result.status == "failed":
+                        failures += 1
+        except KeyboardInterrupt:
+            interrupted = True
+            _log.warning(
+                "campaign %s interrupted; journal %s holds %d finished cells",
+                self.config.name, self.journal_path,
+                len(journal.completed_keys()),
+            )
+        done_keys = {result.key for result in results}
+        for cell in cells:
+            if cell.key not in done_keys:
+                results.append(self._skipped(cell, interrupted, stopped))
+        return results, interrupted, stopped
+
+    def _run_batch(self, batch: "list[CampaignCell]") -> "list[TaskResult]":
+        tasks = [
+            PoolTask(
+                key=cell.key,
+                fn=_campaign_cell_task,
+                args=(
+                    cell.experiment, cell.preset, cell.seed,
+                    cell.overrides, self.config.use_disk_cache,
+                ),
+            )
+            for cell in batch
+        ]
+        config = self.pool_config or PoolConfig(workers=self.workers)
+        return run_tasks(tasks, config)
+
+    # ------------------------------------------------------------------
+    def _from_task(
+        self, cell: CampaignCell, task_result: TaskResult
+    ) -> CellResult:
+        payload = task_result.value if task_result.ok else {}
+        payload = payload or {}
+        return CellResult(
+            key=cell.key,
+            index=cell.index,
+            experiment=cell.experiment,
+            preset=cell.preset,
+            seed=cell.seed,
+            status="done" if task_result.ok else "failed",
+            metrics=dict(payload.get("metrics", {})),
+            measured=dict(payload.get("measured", {})),
+            overrides=dict(cell.overrides),
+            wall_time_s=task_result.wall_time_s,
+            attempts=task_result.attempts,
+            error=task_result.error,
+        )
+
+    def _from_journal(
+        self, cell: CampaignCell, entry: dict, payload: dict
+    ) -> CellResult:
+        return CellResult(
+            key=cell.key,
+            index=cell.index,
+            experiment=cell.experiment,
+            preset=cell.preset,
+            seed=cell.seed,
+            status="done",
+            metrics=dict(payload.get("metrics", {})),
+            measured=dict(payload.get("measured", {})),
+            overrides=dict(cell.overrides),
+            wall_time_s=entry.get("wall_time_s", 0.0),
+            attempts=entry.get("attempts", 0),
+            resumed=True,
+        )
+
+    def _skipped(
+        self, cell: CampaignCell, interrupted: bool, stopped: bool
+    ) -> CellResult:
+        reason = (
+            "interrupted" if interrupted
+            else "stop.max_failures reached" if stopped
+            else "not dispatched"
+        )
+        return CellResult(
+            key=cell.key,
+            index=cell.index,
+            experiment=cell.experiment,
+            preset=cell.preset,
+            seed=cell.seed,
+            status="skipped",
+            overrides=dict(cell.overrides),
+            error=reason,
+        )
+
+    @staticmethod
+    def _status(
+        results: "list[CellResult]", interrupted: bool, stopped: bool
+    ) -> str:
+        if interrupted:
+            return "interrupted"
+        if stopped:
+            return "stopped"
+        counts = _count(results)
+        if counts.get("failed") or counts.get("skipped"):
+            return "failed"
+        return "ok"
+
+
+def _count(results: "list[CellResult]") -> "dict[str, int]":
+    counts: "dict[str, int]" = {}
+    for result in results:
+        counts[result.status] = counts.get(result.status, 0) + 1
+    return counts

@@ -1,0 +1,282 @@
+"""Dependency-free loader for the YAML subset campaign configs use.
+
+The container deliberately avoids new dependencies, so campaign configs
+are written in a small, strictly-defined YAML subset this module parses
+with no imports beyond the stdlib:
+
+* mappings by indentation (spaces only), ``key: value``
+* block sequences (``- item``), including ``- key: value`` inline starts
+* flow collections ``[a, b]`` and ``{k: v}``, nested
+* scalars: int, float, bool (``true``/``false``), ``null``/``~``,
+  single/double-quoted and bare strings
+* full-line and trailing ``#`` comments, a leading ``---`` marker
+
+When PyYAML happens to be installed it is used instead (``safe_load``),
+with this parser as the fallback — the subset is chosen so both produce
+identical structures for valid configs (tested).  Anything outside the
+subset raises :class:`YamlSubsetError` with the offending line number.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class YamlSubsetError(ValueError):
+    """A config line falls outside the supported YAML subset."""
+
+    def __init__(self, message: str, line: "int | None" = None):
+        self.line = line
+        where = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_.-]+)\s*:(?:\s+(?P<value>.*))?$")
+
+
+def load_config_text(text: str, force_subset: bool = False) -> object:
+    """Parse config text with PyYAML when available, else the subset parser."""
+    if not force_subset:
+        try:
+            import yaml
+        except ImportError:
+            pass
+        else:
+            return yaml.safe_load(text)
+    return loads(text)
+
+
+def loads(text: str) -> object:
+    """Parse the YAML subset; returns nested dicts/lists/scalars."""
+    lines = _logical_lines(text)
+    if not lines:
+        return None
+    value, stop = _parse_block(lines, 0, lines[0][0])
+    if stop != len(lines):
+        raise YamlSubsetError("content outside the document root", lines[stop][2])
+    return value
+
+
+def _logical_lines(text: str) -> "list[tuple[int, str, int]]":
+    """Non-empty lines as ``(indent, content, lineno)`` with comments cut."""
+    out = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        if stripped.strip() == "---" and not out:
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        if "\t" in stripped[:indent] or stripped.lstrip(" ").startswith("\t"):
+            raise YamlSubsetError("tabs are not allowed in indentation", lineno)
+        out.append((indent, stripped.strip(), lineno))
+    return out
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, honoring quoted strings."""
+    quote = None
+    for index, char in enumerate(line):
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+        elif char == "#" and (index == 0 or line[index - 1] in " \t"):
+            return line[:index]
+    return line
+
+
+def _parse_block(
+    lines: "list[tuple[int, str, int]]", start: int, indent: int
+) -> "tuple[object, int]":
+    """Parse one block (mapping or sequence) at exactly ``indent``."""
+    if lines[start][1].startswith("- ") or lines[start][1] == "-":
+        return _parse_sequence(lines, start, indent)
+    return _parse_mapping(lines, start, indent)
+
+
+def _parse_mapping(
+    lines: "list[tuple[int, str, int]]", start: int, indent: int
+) -> "tuple[dict, int]":
+    mapping: dict = {}
+    index = start
+    while index < len(lines):
+        line_indent, content, lineno = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise YamlSubsetError("unexpected indentation", lineno)
+        match = _KEY_RE.match(content)
+        if not match:
+            raise YamlSubsetError(f"expected 'key: value', got {content!r}", lineno)
+        key = match.group("key")
+        if key in mapping:
+            raise YamlSubsetError(f"duplicate key {key!r}", lineno)
+        value_text = match.group("value")
+        index += 1
+        if value_text is None or not value_text.strip():
+            # A child block, or an empty (null) value.
+            if index < len(lines) and lines[index][0] > indent:
+                mapping[key], index = _parse_block(lines, index, lines[index][0])
+            else:
+                mapping[key] = None
+        else:
+            mapping[key] = _parse_scalar_or_flow(value_text.strip(), lineno)
+    return mapping, index
+
+
+def _parse_sequence(
+    lines: "list[tuple[int, str, int]]", start: int, indent: int
+) -> "tuple[list, int]":
+    items: list = []
+    index = start
+    while index < len(lines):
+        line_indent, content, lineno = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise YamlSubsetError("unexpected indentation", lineno)
+        if content != "-" and not content.startswith("- "):
+            break
+        rest = content[1:].strip()
+        index += 1
+        # Lines indented past the dash belong to this item.
+        child_lines = []
+        while index < len(lines) and lines[index][0] > indent:
+            child_lines.append(lines[index])
+            index += 1
+        if rest and _KEY_RE.match(rest) and not _looks_flow_or_quoted(rest):
+            # ``- key: value`` starts an inline mapping; the item's other
+            # keys continue on the following deeper-indented lines.
+            virtual = [(indent + 2, rest, lineno)]
+            virtual += [(indent + 2 + (li - child_lines[0][0]), c, ln)
+                        for li, c, ln in child_lines]
+            value, stop = _parse_mapping(virtual, 0, indent + 2)
+            if stop != len(virtual):
+                raise YamlSubsetError("malformed sequence item", lineno)
+            items.append(value)
+        elif rest:
+            if child_lines:
+                raise YamlSubsetError(
+                    "scalar sequence item cannot have a nested block", lineno
+                )
+            items.append(_parse_scalar_or_flow(rest, lineno))
+        else:
+            if not child_lines:
+                raise YamlSubsetError("empty sequence item", lineno)
+            value, stop = _parse_block(child_lines, 0, child_lines[0][0])
+            if stop != len(child_lines):
+                raise YamlSubsetError("malformed sequence item", lineno)
+            items.append(value)
+    return items, index
+
+
+def _looks_flow_or_quoted(text: str) -> bool:
+    return text[:1] in "[{'\""
+
+
+def _parse_scalar_or_flow(text: str, lineno: int) -> object:
+    if text.startswith("[") or text.startswith("{"):
+        value, stop = _parse_flow(text, 0, lineno)
+        if text[stop:].strip():
+            raise YamlSubsetError(f"trailing text after {text[:stop]!r}", lineno)
+        return value
+    return _parse_scalar(text, lineno)
+
+
+def _parse_flow(text: str, pos: int, lineno: int) -> "tuple[object, int]":
+    """Parse one flow collection/scalar starting at ``pos``."""
+    while pos < len(text) and text[pos] == " ":
+        pos += 1
+    if pos >= len(text):
+        raise YamlSubsetError("unterminated flow collection", lineno)
+    char = text[pos]
+    if char == "[":
+        items: list = []
+        pos += 1
+        pos = _skip_spaces(text, pos)
+        if pos < len(text) and text[pos] == "]":
+            return items, pos + 1
+        while True:
+            value, pos = _parse_flow(text, pos, lineno)
+            items.append(value)
+            pos = _skip_spaces(text, pos)
+            if pos >= len(text):
+                raise YamlSubsetError("unterminated flow sequence", lineno)
+            if text[pos] == ",":
+                pos = _skip_spaces(text, pos + 1)
+                continue
+            if text[pos] == "]":
+                return items, pos + 1
+            raise YamlSubsetError(f"expected ',' or ']' in {text!r}", lineno)
+    if char == "{":
+        mapping: dict = {}
+        pos += 1
+        pos = _skip_spaces(text, pos)
+        if pos < len(text) and text[pos] == "}":
+            return mapping, pos + 1
+        while True:
+            colon = text.find(":", pos)
+            if colon < 0:
+                raise YamlSubsetError(f"expected 'key: value' in {text!r}", lineno)
+            key = text[pos:colon].strip()
+            if not key or not re.fullmatch(r"[A-Za-z0-9_.-]+", key):
+                raise YamlSubsetError(f"bad flow-mapping key {key!r}", lineno)
+            if key in mapping:
+                raise YamlSubsetError(f"duplicate key {key!r}", lineno)
+            value, pos = _parse_flow(text, colon + 1, lineno)
+            mapping[key] = value
+            pos = _skip_spaces(text, pos)
+            if pos >= len(text):
+                raise YamlSubsetError("unterminated flow mapping", lineno)
+            if text[pos] == ",":
+                pos = _skip_spaces(text, pos + 1)
+                continue
+            if text[pos] == "}":
+                return mapping, pos + 1
+            raise YamlSubsetError(f"expected ',' or '}}' in {text!r}", lineno)
+    if char in "'\"":
+        end = text.find(char, pos + 1)
+        if end < 0:
+            raise YamlSubsetError("unterminated quoted string", lineno)
+        return text[pos + 1:end], end + 1
+    # Bare flow scalar: runs until a flow delimiter.
+    end = pos
+    while end < len(text) and text[end] not in ",]}":
+        end += 1
+    return _parse_scalar(text[pos:end].strip(), lineno), end
+
+
+def _skip_spaces(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] == " ":
+        pos += 1
+    return pos
+
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def _parse_scalar(text: str, lineno: int) -> object:
+    if not text:
+        raise YamlSubsetError("empty scalar", lineno)
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise YamlSubsetError(f"unterminated quoted string {text!r}", lineno)
+        return text[1:-1]
+    if text in ("null", "Null", "NULL", "~"):
+        return None
+    if text in ("true", "True", "TRUE"):
+        return True
+    if text in ("false", "False", "FALSE"):
+        return False
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text) and not _INT_RE.match(text):
+        return float(text)
+    if text[0] in "&*!|>%@`":
+        raise YamlSubsetError(
+            f"YAML feature {text[0]!r} is outside the supported subset", lineno
+        )
+    return text

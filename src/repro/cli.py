@@ -8,6 +8,8 @@ Examples::
     python -m repro -v run all --preset fast --report sweep-report.txt
     python -m repro run sec6d --trace trace.json --metrics metrics.jsonl
     python -m repro stats
+    python -m repro campaign validate examples/campaigns/sec6d_tiny.yaml
+    python -m repro campaign run examples/campaigns/sec6d_tiny.yaml --resume
     python -m repro publish --registry registry/ --preset fast --detector
     python -m repro serve --registry registry/ --port 8077
     python -m repro infer --url http://127.0.0.1:8077 --requests 50
@@ -19,7 +21,9 @@ registry + micro-batching HTTP server + load-generating client); see
 read-only control plane over everything the other verbs emit — run
 records, BENCH_*.json trajectories, sweep journals, and a live server's
 fleet metrics (see ``repro.dashboard`` and the README's Dashboard
-section).
+section).  ``campaign`` runs YAML-defined experiment grids with
+journaled crash-safe resume (see ``repro.campaigns`` and the README's
+Campaigns section).
 
 Each experiment prints the same rows/series the corresponding paper figure
 shows (see EXPERIMENTS.md for the paper-vs-measured comparison).
@@ -65,6 +69,7 @@ from .runtime.records import (
     latest_run_record_path,
     list_run_records,
     load_run_record,
+    summarize_run_record,
     write_run_record,
 )
 from .runtime.runner import FailureReport, run_experiments, run_experiments_parallel
@@ -77,6 +82,7 @@ from .bench import (
     write_bench_result,
 )
 
+from .campaigns.cli import add_campaign_arguments, run_campaign_command
 from .dashboard.cli import add_dashboard_arguments, run_dashboard
 from .serve.cli import add_serve_arguments, run_infer, run_publish, run_serve
 
@@ -246,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--name", default=None, metavar="GLOB",
                        help="with --list: only records whose experiment "
                        "name matches this shell glob")
+    stats.add_argument("--campaign", action="store_true", dest="campaign_only",
+                       help="with --list: only campaign records "
+                       "(kind=campaign)")
 
     bench = subparsers.add_parser(
         "bench", help="run the performance benchmark suite"
@@ -260,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
         "current directory)",
     )
 
+    add_campaign_arguments(subparsers)
     add_serve_arguments(subparsers)
     add_dashboard_arguments(subparsers)
     return parser
@@ -390,11 +400,15 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "dashboard":
         return run_dashboard(args, log)
 
+    if args.command == "campaign":
+        return run_campaign_command(args, log)
+
     if args.command == "stats":
         directory = Path(args.runs_dir) if args.runs_dir else None
         if args.list_records:
             rows = list_run_records(
-                directory, name=args.name, status=args.status, last=args.last
+                directory, name=args.name, status=args.status, last=args.last,
+                kind="campaign" if args.campaign_only else None,
             )
             print(format_run_listing(rows))
             return 0 if rows else 1
@@ -402,6 +416,7 @@ def main(argv: "list[str] | None" = None) -> int:
             ("--last", args.last),
             ("--status", args.status),
             ("--name", args.name),
+            ("--campaign", args.campaign_only or None),
         ):
             if value is not None:
                 log.warning("%s only applies with --list; ignoring", flag)
@@ -409,6 +424,15 @@ def main(argv: "list[str] | None" = None) -> int:
         if path is None:
             log.error("no run records found")
             return 1
+        summary = summarize_run_record(path)
+        if summary is not None and summary.get("kind") == "campaign":
+            from .campaigns.records import (
+                format_campaign_record,
+                load_campaign_record,
+            )
+
+            print(format_campaign_record(load_campaign_record(path)))
+            return 0
         print(format_run_record(load_run_record(path)))
         return 0
 

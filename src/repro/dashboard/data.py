@@ -87,6 +87,50 @@ class DashboardData:
             return None
         return payload if isinstance(payload, dict) else None
 
+    # -- campaigns ----------------------------------------------------
+
+    def campaigns(self, last: "int | None" = None) -> "list[dict]":
+        """Campaign-record summaries (``kind: campaign``), oldest first."""
+        return list_run_records(self.runs_dir, kind="campaign", last=last)
+
+    def campaign_detail(self, filename: str) -> "dict | None":
+        """One campaign record plus a derived cell matrix; None when absent.
+
+        The matrix groups cells as experiment rows x seed columns —
+        the axes every campaign has — with status and headline metrics
+        per entry, so the sweep reads as a grid rather than a flat list.
+        """
+        payload = self.run_detail(filename)
+        if payload is None or payload.get("kind") != "campaign":
+            return None
+        cells = payload.get("cells") or []
+        rows: "list[str]" = []
+        cols: "list[int]" = []
+        entries: "dict[str, dict]" = {}
+        for cell in cells:
+            if not isinstance(cell, dict):
+                continue
+            experiment = str(cell.get("experiment", "?"))
+            seed = cell.get("seed", 0)
+            if experiment not in rows:
+                rows.append(experiment)
+            if seed not in cols:
+                cols.append(seed)
+            entries[f"{experiment}|{seed}"] = {
+                "key": cell.get("key"),
+                "status": cell.get("status"),
+                "wall_time_s": cell.get("wall_time_s"),
+                "metrics": cell.get("metrics") or {},
+                "error": cell.get("error"),
+            }
+        payload = dict(payload)
+        payload["matrix"] = {
+            "rows": rows,
+            "cols": sorted(cols, key=str),
+            "cells": entries,
+        }
+        return payload
+
     # -- bench --------------------------------------------------------
 
     def bench_files(self) -> "list[Path]":
@@ -226,10 +270,13 @@ class DashboardData:
     def index(self) -> "dict[str, object]":
         """The landing summary: what this dashboard can see."""
         runs = self.runs()
+        campaigns = self.campaigns()
         return {
             "runs_dir": str(self.runs_dir),
             "run_count": len(runs),
             "latest_run": runs[-1] if runs else None,
+            "campaign_count": len(campaigns),
+            "latest_campaign": campaigns[-1] if campaigns else None,
             "bench_dir": str(self.bench_dir),
             "bench_files": [path.name for path in self.bench_files()],
             "journal_path": (

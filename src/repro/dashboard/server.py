@@ -12,6 +12,10 @@ read-only and artifact-facing:
     Run-record listing (same filters as ``repro stats --list``).
 ``GET /api/runs/<file>``
     One record's full JSON by bare filename.
+``GET /api/campaigns?last=N``
+    Campaign-record listing (``repro campaign list``'s view).
+``GET /api/campaigns/<file>``
+    One campaign record plus a derived experiment x seed cell matrix.
 ``GET /api/bench/trajectory``
     One labeled point per ``BENCH_*.json`` — stage minima, throughput,
     speedups, fleet scaling — for charting perf over time.
@@ -57,6 +61,7 @@ _INDEX_HTML = """<!doctype html>
 <h1>repro dashboard</h1>
 <div id="index"></div>
 <h2>runs</h2><div id="runs">loading...</div>
+<h2>campaigns</h2><div id="campaigns">loading...</div>
 <h2>bench trajectory</h2><div id="bench">loading...</div>
 <h2>fleet</h2><div id="fleet">loading...</div>
 <script>
@@ -77,6 +82,15 @@ async function refresh() {
   document.getElementById("runs").innerHTML =
     "<table><tr><th>timestamp</th><th>name</th><th>status</th>" +
     "<th>git</th><th>file</th></tr>" + rows + "</table>";
+  const campaigns = await fetchJson("/api/campaigns?last=20");
+  const campaignRows = campaigns.body.campaigns.map(c =>
+    `<tr><td>${c.timestamp}</td><td>${c.name}</td>` +
+    `<td class="${c.status}">${c.status}</td><td>${c.git_revision}</td>` +
+    `<td>${c.file}</td></tr>`).join("");
+  document.getElementById("campaigns").innerHTML = campaignRows
+    ? "<table><tr><th>timestamp</th><th>campaign</th><th>status</th>" +
+      "<th>git</th><th>file</th></tr>" + campaignRows + "</table>"
+    : "<p>no campaign records</p>";
   const bench = await fetchJson("/api/bench/trajectory");
   const points = bench.body.points.map(p =>
     `<tr><td>${p.file}</td><td>${cell(p.meta && p.meta.git_sha)}</td>` +
@@ -183,6 +197,19 @@ class _Handler(BaseHTTPRequestHandler):
         elif path.startswith("/api/runs/"):
             filename = urllib.parse.unquote(path[len("/api/runs/"):])
             detail = data.run_detail(filename)
+            if detail is None:
+                self._send_json(404, {
+                    "error": {"type": "NotFound", "message": filename}
+                })
+            else:
+                self._send_json(200, detail)
+        elif path == "/api/campaigns":
+            self._send_json(200, {"campaigns": data.campaigns(
+                last=_int_param(query, "last"),
+            )})
+        elif path.startswith("/api/campaigns/"):
+            filename = urllib.parse.unquote(path[len("/api/campaigns/"):])
+            detail = data.campaign_detail(filename)
             if detail is None:
                 self._send_json(404, {
                     "error": {"type": "NotFound", "message": filename}

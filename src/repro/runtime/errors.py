@@ -14,6 +14,8 @@ The hierarchy mirrors the pipeline stages::
     ├── ExperimentError           one experiment of a sweep failed
     ├── PoolError                 the worker pool itself is unusable
     ├── JournalError              sweep journal unusable for resume
+    ├── CampaignError             campaign config or run unusable
+    │   └── CampaignConfigError   config failed schema validation
     └── ServeError                online inference service failures
         ├── RegistryError         model artifact unusable (tampered, stale)
         │   └── ModelNotFoundError   unknown model id or alias
@@ -90,6 +92,26 @@ class JournalError(ReproError):
         super().__init__(f"unusable sweep journal {path}: {reason}")
         self.path = path
         self.reason = reason
+
+
+class CampaignError(ReproError):
+    """A declarative campaign cannot run (bad config, unusable journal)."""
+
+
+class CampaignConfigError(CampaignError):
+    """A campaign config failed schema validation.
+
+    ``errors`` lists every violation as ``field.path: message`` so a
+    config with several typos reports all of them at once.
+    """
+
+    def __init__(self, source: str, errors: "list[str]"):
+        self.source = source
+        self.errors = list(errors)
+        detail = "\n".join(f"  - {error}" for error in self.errors)
+        super().__init__(
+            f"invalid campaign config {source}:\n{detail}"
+        )
 
 
 class ServeError(ReproError):

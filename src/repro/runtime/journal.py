@@ -31,6 +31,22 @@ _log = get_logger("runtime.journal")
 JOURNAL_VERSION = 1
 
 
+def _fingerprint_diff(recorded: dict, requested: dict) -> str:
+    """Name the fingerprint keys that differ, so the error is actionable.
+
+    Campaign fingerprints carry a ``config_digest``; when that is the
+    differing key, the message names both digests directly instead of
+    making the user diff two reprs.
+    """
+    keys = sorted(set(recorded) | set(requested))
+    diffs = [
+        f"{key}: journal={recorded.get(key)!r} requested={requested.get(key)!r}"
+        for key in keys
+        if recorded.get(key) != requested.get(key)
+    ]
+    return "differing keys: " + "; ".join(diffs) if diffs else "no differing keys"
+
+
 class SweepJournal:
     """Append-only JSONL checkpoint file keyed by task ``key``.
 
@@ -70,8 +86,9 @@ class SweepJournal:
             if recorded != campaign:
                 raise JournalError(
                     journal.path,
-                    f"campaign mismatch: journal has {recorded!r}, "
-                    f"resume requested {campaign!r}",
+                    "campaign mismatch: "
+                    f"{_fingerprint_diff(recorded, campaign)}; "
+                    f"journal has {recorded!r}, resume requested {campaign!r}",
                 )
             journal._handle = open(journal.path, "a")
             _log.info(

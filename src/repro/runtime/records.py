@@ -137,6 +137,9 @@ def summarize_run_record(path: "str | os.PathLike") -> "dict | None":
         "path": str(path),
         "file": Path(path).name,
         "name": str(payload.get("name", "?")),
+        # Campaign records share the runs dir; they carry kind="campaign"
+        # and are listed as such rather than skipped as foreign JSON.
+        "kind": str(payload.get("kind", "run")),
         "timestamp": str(payload.get("timestamp", "")),
         "status": record_status(payload.get("outcome") or {}),
         "git_revision": str(payload.get("git_revision", "")),
@@ -149,11 +152,13 @@ def list_run_records(
     name: "str | None" = None,
     status: "str | None" = None,
     last: "int | None" = None,
+    kind: "str | None" = None,
 ) -> "list[dict]":
     """Summaries of the runs dir, oldest first.
 
     ``name`` is a shell glob against the record's experiment name,
     ``status`` an exact (case-insensitive) match on the outcome status,
+    ``kind`` filters record kinds (``run``/``campaign``; None lists both),
     and ``last`` keeps only the newest N rows after filtering.
     """
     directory = Path(directory) if directory is not None else default_runs_dir()
@@ -168,6 +173,8 @@ def list_run_records(
             continue
         if status is not None and summary["status"].lower() != status.lower():
             continue
+        if kind is not None and summary["kind"] != kind:
+            continue
         rows.append(summary)
     if last is not None and last >= 0:
         rows = rows[-last:] if last else []
@@ -180,12 +187,13 @@ def format_run_listing(rows: "list[dict]") -> str:
         return "no run records found"
     name_width = max(len(row["name"]) for row in rows)
     lines = [
-        f"{'TIMESTAMP':<16} {'NAME':<{name_width}} {'STATUS':<9} "
-        f"{'GIT':<10} FILE"
+        f"{'TIMESTAMP':<16} {'NAME':<{name_width}} {'KIND':<9} "
+        f"{'STATUS':<9} {'GIT':<10} FILE"
     ]
     for row in rows:
         lines.append(
             f"{row['timestamp']:<16} {row['name']:<{name_width}} "
+            f"{row.get('kind', 'run'):<9} "
             f"{row['status']:<9} {row['git_revision']:<10} {row['file']}"
         )
     return "\n".join(lines)

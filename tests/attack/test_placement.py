@@ -104,3 +104,83 @@ def test_snap_to_candidate(placement_result):
     assert index == 2
     assert name == placement_result.candidate_names[2]
     assert np.allclose(snapped, placement_result.candidate_positions[2])
+
+
+@pytest.fixture(scope="module")
+def scoring_scene(trained_micro_model, micro_generator):
+    """The shared Eq. 2 inputs (clean scene) for equivalence tests."""
+    from repro.geometry import BodyShape, TrajectoryStyle
+    from repro.radar.heatmap import drai_sequence
+
+    generator = micro_generator
+    simulator = generator.simulator
+    bodies, transforms = generator.sample_scene(
+        "push", 1.0, 0.0, 1.0, TrajectoryStyle()
+    )
+    meshes = [body.transformed(tr) for body, tr in zip(bodies, transforms)]
+    base_cubes = simulator.simulate_sequence(meshes)
+    heatmap_config = generator.config.heatmap
+    clean_heatmaps = drai_sequence(base_cubes, heatmap_config)
+    clean_features = trained_micro_model.frame_features(clean_heatmaps)[0]
+    human = HumanModel(BodyShape())
+    candidates, names = candidate_positions(
+        human, PlacementConfig(grid_nx=2, grid_nz=2)
+    )
+    return (
+        simulator, transforms, base_cubes, clean_heatmaps, clean_features,
+        heatmap_config, candidates, names,
+    )
+
+
+def test_batched_scoring_matches_per_candidate_reference(
+    scoring_scene, trained_micro_model
+):
+    """Pinned equivalence: stacked-synthesis scoring is bit-identical to
+    the per-candidate reference path for every candidate."""
+    from repro.attack.placement import (
+        _score_candidate,
+        _score_candidates_batched,
+    )
+
+    (simulator, transforms, base_cubes, clean_heatmaps, clean_features,
+     heatmap_config, candidates, _names) = scoring_scene
+    shared = (
+        transforms, base_cubes, clean_heatmaps, clean_features, heatmap_config,
+    )
+    reference = [
+        _score_candidate(
+            simulator, trained_micro_model, TRIGGER_2X2, position, *shared
+        )
+        for position in candidates
+    ]
+    batched = _score_candidates_batched(
+        simulator, trained_micro_model, TRIGGER_2X2, candidates, *shared
+    )
+    assert len(batched) == len(reference)
+    for (feat_b, heat_b), (feat_r, heat_r) in zip(batched, reference):
+        assert np.array_equal(feat_b, feat_r)
+        assert np.array_equal(heat_b, heat_r)
+
+
+def test_batched_scoring_respects_memory_budget(
+    scoring_scene, trained_micro_model
+):
+    """A budget smaller than one candidate's cube forces one-candidate
+    batches and still reproduces the unbounded result exactly."""
+    from repro.attack.placement import _score_candidates_batched
+
+    (simulator, transforms, base_cubes, clean_heatmaps, clean_features,
+     heatmap_config, candidates, _names) = scoring_scene
+    shared = (
+        transforms, base_cubes, clean_heatmaps, clean_features, heatmap_config,
+    )
+    unbounded = _score_candidates_batched(
+        simulator, trained_micro_model, TRIGGER_2X2, candidates[:4], *shared
+    )
+    sliced = _score_candidates_batched(
+        simulator, trained_micro_model, TRIGGER_2X2, candidates[:4], *shared,
+        max_batch_bytes=1,
+    )
+    for (feat_a, heat_a), (feat_b, heat_b) in zip(unbounded, sliced):
+        assert np.array_equal(feat_a, feat_b)
+        assert np.array_equal(heat_a, heat_b)

@@ -1,0 +1,78 @@
+"""Acceptance pins: campaign cells == hand-written runner invocations.
+
+The committed ``examples/campaigns/sec6d_tiny.yaml`` run through the
+campaign runner must produce per-cell deterministic metrics bit-identical
+to calling the sec6d runner by hand with the same preset and seed — the
+guarantee that re-expressing an experiment as a campaign changes nothing
+about its results.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignRunner, cell_payload, load_campaign
+from repro.campaigns.config import config_digest, expand_cells
+from repro.eval.experiments import ExperimentContext, run_simulator_throughput
+from repro.eval.presets import preset_by_name
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "campaigns"
+
+
+def test_sec6d_tiny_campaign_matches_hand_written_runner(tmp_path):
+    config = load_campaign(EXAMPLES / "sec6d_tiny.yaml")
+    assert config.name == "sec6d-tiny"
+    outcome = CampaignRunner(config, runs_dir=tmp_path).run()
+    assert outcome.all_ok
+    assert len(outcome.results) == 2
+
+    for result in outcome.results:
+        context = ExperimentContext(
+            preset_by_name(result.preset), seed=result.seed,
+            use_disk_cache=config.use_disk_cache,
+        )
+        expected = cell_payload(run_simulator_throughput(context))
+        assert result.metrics == expected["metrics"]
+        # Wall-clock quantities are reported but never pinned.
+        assert set(result.measured) == set(expected["measured"])
+
+    # The record carries the metrics and the config digest end to end.
+    record_cells = {cell["key"]: cell for cell in outcome.record.cells}
+    assert set(record_cells) == {r.key for r in outcome.results}
+    assert outcome.record.config_digest == config_digest(config)
+
+
+def test_campaign_results_reproducible_across_runs(tmp_path):
+    config = load_campaign(EXAMPLES / "sec6d_tiny.yaml")
+    first = CampaignRunner(
+        config, runs_dir=tmp_path / "a",
+        journal_path=tmp_path / "a.jsonl",
+    ).run()
+    second = CampaignRunner(
+        config, runs_dir=tmp_path / "b",
+        journal_path=tmp_path / "b.jsonl",
+    ).run()
+    for cell_a, cell_b in zip(first.results, second.results):
+        assert cell_a.key == cell_b.key
+        assert cell_a.metrics == cell_b.metrics
+
+
+@pytest.mark.parametrize("example", sorted(
+    path.name for path in EXAMPLES.glob("*.yaml")
+))
+def test_every_committed_example_validates(example):
+    config = load_campaign(EXAMPLES / example)
+    cells = expand_cells(config)
+    assert cells, f"{example} expands to zero cells"
+    # Both loaders (PyYAML and the subset fallback) agree on the digest.
+    subset = load_campaign(EXAMPLES / example, force_subset=True)
+    assert config_digest(subset) == config_digest(config)
+
+
+def test_example_inventory_covers_paper_sections():
+    names = {path.name for path in EXAMPLES.glob("*.yaml")}
+    assert {
+        "sec6d_tiny.yaml", "ci_smoke.yaml", "sec6_prototype.yaml",
+        "sec6_attack_grid.yaml", "sec6_robustness.yaml",
+        "sec7_defenses.yaml",
+    } <= names

@@ -1,0 +1,101 @@
+"""Tests for the dependency-free YAML-subset loader."""
+
+import pytest
+
+from repro.campaigns.yamlish import YamlSubsetError, load_config_text, loads
+
+FULL_FEATURED = """\
+---
+# A config exercising every supported construct.
+campaign: demo  # trailing comment
+schema_version: 1
+description: "quoted: with colon #not-a-comment"
+seed: -3
+threshold: 2.5e-1
+enabled: true
+disabled: false
+nothing: null
+tilde: ~
+axes:
+  experiment: [fig8, fig9]
+  seed: [0, 1, 2]
+flow_map: {a: 1, b: [2, 3], c: {d: x}}
+cells:
+  - experiment: fig8
+    seed: 7
+  - experiment: fig9
+items:
+  - 1
+  - two
+  - [3, 4]
+nested:
+  -
+    deep: yes_string
+"""
+
+EXPECTED = {
+    "campaign": "demo",
+    "schema_version": 1,
+    "description": "quoted: with colon #not-a-comment",
+    "seed": -3,
+    "threshold": 0.25,
+    "enabled": True,
+    "disabled": False,
+    "nothing": None,
+    "tilde": None,
+    "axes": {"experiment": ["fig8", "fig9"], "seed": [0, 1, 2]},
+    "flow_map": {"a": 1, "b": [2, 3], "c": {"d": "x"}},
+    "cells": [{"experiment": "fig8", "seed": 7}, {"experiment": "fig9"}],
+    "items": [1, "two", [3, 4]],
+    "nested": [{"deep": "yes_string"}],
+}
+
+
+def test_subset_parses_full_featured_document():
+    assert loads(FULL_FEATURED) == EXPECTED
+
+
+def test_subset_matches_pyyaml():
+    """The subset is chosen so PyYAML and the fallback agree exactly."""
+    yaml = pytest.importorskip("yaml")
+    assert loads(FULL_FEATURED) == yaml.safe_load(FULL_FEATURED)
+
+
+def test_load_config_text_force_subset():
+    via_subset = load_config_text(FULL_FEATURED, force_subset=True)
+    via_default = load_config_text(FULL_FEATURED)
+    assert via_subset == via_default == EXPECTED
+
+
+def test_empty_document_is_none():
+    assert loads("") is None
+    assert loads("# only comments\n\n") is None
+
+
+@pytest.mark.parametrize("text, fragment", [
+    ("key: value\n\tchild: 1\n", "tabs"),
+    ("a: 1\na: 2\n", "duplicate key"),
+    ("a: &anchor\n", "outside the supported subset"),
+    ("a: [1, 2\n", "unterminated"),
+    ("a: [1] trailing\n", "trailing text"),
+    ("just a bare line\n", "expected 'key: value'"),
+    ("a: {x 1}\n", "expected 'key: value'"),
+])
+def test_subset_errors(text, fragment):
+    with pytest.raises(YamlSubsetError) as excinfo:
+        loads(text)
+    assert fragment in str(excinfo.value)
+
+
+def test_errors_carry_line_numbers():
+    text = "ok: 1\nbad: &anchor\n"
+    with pytest.raises(YamlSubsetError) as excinfo:
+        loads(text)
+    assert excinfo.value.line == 2
+    assert "(line 2)" in str(excinfo.value)
+
+
+def test_scalar_sequence_item_rejects_nested_block():
+    text = "items:\n  - 1\n      deep: 2\n"
+    with pytest.raises(YamlSubsetError):
+        loads(text)
